@@ -1,0 +1,137 @@
+"""Ablation: learned non-linear scaling curves (section 3.4 extension).
+
+The paper's future-work direction — "good approximation of non-linear
+rates ... gradually learned by DS2" — implemented as a two-parameter
+coordination-law learner. Compared against vanilla DS2 on the queries
+with the longest convergence climbs, plus the offline provisioning
+variant (section 3's other optional mode) which needs zero online
+steps when the workload is known a priori.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.core.controller import ControlLoop
+from repro.core.learning import LearningDS2Controller
+from repro.core.manager import DS2Controller, ManagerConfig
+from repro.core.offline import offline_provisioning
+from repro.core.policy import DS2Policy
+from repro.dataflow.physical import PhysicalPlan
+from repro.engine.runtimes import FlinkRuntime
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.experiments.report import format_table
+from repro.workloads.nexmark import get_query
+
+
+def run_controller(query_name, initial, controller_class):
+    query = get_query(query_name)
+    graph = query.flink_graph()
+    plan = PhysicalPlan(
+        graph,
+        query.initial_parallelism(graph, initial),
+        max_parallelism=36,
+    )
+    sim = Simulator(
+        plan, FlinkRuntime(),
+        EngineConfig(tick=0.25, track_record_latency=False),
+    )
+    controller = controller_class(
+        DS2Policy(graph),
+        ManagerConfig(warmup_intervals=1, activation_intervals=5),
+    )
+    loop = ControlLoop(sim, controller, policy_interval=30.0)
+    result = loop.run(1500.0)
+    return (
+        result.scaling_steps,
+        sim.plan.parallelism_of(query.main_operator),
+    )
+
+
+def test_ablation_learning(benchmark):
+    cases = [("Q11", 8), ("Q3", 8), ("Q1", 28)]
+
+    def experiment():
+        rows = []
+        for query_name, initial in cases:
+            base_steps, base_final = run_controller(
+                query_name, initial, DS2Controller
+            )
+            learn_steps, learn_final = run_controller(
+                query_name, initial, LearningDS2Controller
+            )
+            rows.append((
+                query_name, initial,
+                base_steps, base_final,
+                learn_steps, learn_final,
+            ))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    emit(
+        "ablation_learning",
+        format_table(
+            ("query", "initial", "ds2 steps", "ds2 final",
+             "learning steps", "learning final"),
+            rows,
+            title=(
+                "Ablation: vanilla DS2 vs learned scaling curves "
+                "(section 3.4 future work)"
+            ),
+        ),
+    )
+    for (query_name, _initial, base_steps, base_final,
+         learn_steps, learn_final) in rows:
+        expected = get_query(query_name).indicated_flink
+        # Learning never changes the answer...
+        assert learn_final == expected == base_final
+        # ...and never needs more steps (strictly fewer on the
+        # longest climb).
+        assert learn_steps <= base_steps
+    q11 = rows[0]
+    assert q11[4] < q11[2]
+
+
+def test_offline_provisioning_needs_no_online_steps(benchmark):
+    """Offline micro-benchmarks size Q1 correctly before deployment:
+    the online controller finds nothing to fix."""
+
+    def experiment():
+        query = get_query("Q1")
+        graph = query.flink_graph()
+        plan = offline_provisioning(
+            graph, query.flink_rates, duration=20.0, max_parallelism=36
+        )
+        sim = Simulator(
+            plan, FlinkRuntime(),
+            EngineConfig(tick=0.25, track_record_latency=False),
+        )
+        controller = DS2Controller(
+            DS2Policy(graph),
+            ManagerConfig(warmup_intervals=1, activation_intervals=5),
+        )
+        loop = ControlLoop(sim, controller, policy_interval=30.0)
+        result = loop.run(900.0)
+        return plan, result, sim
+
+    plan, result, sim = run_once(benchmark, experiment)
+    query = get_query("Q1")
+    emit(
+        "ablation_offline",
+        format_table(
+            ("operator", "offline plan", "online corrections"),
+            [
+                (name, plan.parallelism_of(name),
+                 "none" if not result.events else "see events")
+                for name in plan.graph.names
+            ],
+            title="Offline provisioning for Q1 (section 3 optional mode)",
+        ),
+    )
+    # The offline plan is within one step of optimal: the online
+    # controller either confirms it or applies at most one trim.
+    assert result.scaling_steps <= 1
+    assert (
+        abs(
+            sim.plan.parallelism_of(query.main_operator)
+            - query.indicated_flink
+        )
+        <= 1
+    )

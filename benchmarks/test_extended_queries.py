@@ -1,0 +1,80 @@
+"""Extension: DS2 on the full Nexmark suite (Q4/Q6/Q7/Q9).
+
+The paper evaluates six queries; a controller that truly generalizes
+should handle the remaining classic Nexmark queries without any
+per-query tuning. This benchmark runs DS2 with the paper's Table 4
+settings on the extended queries and checks the same SASO behaviour:
+at most three steps, same final configuration from under- and
+over-provisioned starts.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.core.controller import ControlLoop
+from repro.core.manager import DS2Controller, ManagerConfig
+from repro.core.policy import DS2Policy
+from repro.dataflow.physical import PhysicalPlan
+from repro.engine.runtimes import FlinkRuntime
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.experiments.report import format_steps, format_table
+from repro.workloads.nexmark.queries_ext import EXTENDED_QUERIES
+
+
+def converge(query, initial):
+    graph = query.flink_graph()
+    plan = PhysicalPlan(
+        graph,
+        query.initial_parallelism(graph, initial),
+        max_parallelism=36,
+    )
+    sim = Simulator(
+        plan, FlinkRuntime(),
+        EngineConfig(tick=0.25, track_record_latency=False),
+    )
+    controller = DS2Controller(
+        DS2Policy(graph),
+        ManagerConfig(warmup_intervals=1, activation_intervals=5),
+    )
+    loop = ControlLoop(sim, controller, policy_interval=30.0)
+    result = loop.run(1500.0)
+    steps = [e.applied[query.main_operator] for e in result.events]
+    return steps, sim.plan.parallelism_of(query.main_operator)
+
+
+def test_extended_queries(benchmark):
+    initials = (8, 16, 24)
+
+    def experiment():
+        table = {}
+        for query in EXTENDED_QUERIES:
+            for initial in initials:
+                table[(query.name, initial)] = converge(query, initial)
+        return table
+
+    table = run_once(benchmark, experiment)
+    rows = []
+    for query in EXTENDED_QUERIES:
+        for initial in initials:
+            steps, final = table[(query.name, initial)]
+            rows.append(
+                (query.name, initial, format_steps(steps), final,
+                 query.indicated_flink)
+            )
+    emit(
+        "extended_queries",
+        format_table(
+            ("query", "initial", "steps", "final", "calibrated optimum"),
+            rows,
+            title=(
+                "Extension: DS2 on the remaining Nexmark queries "
+                "(Q4/Q6/Q7/Q9)"
+            ),
+        ),
+    )
+    for query in EXTENDED_QUERIES:
+        finals = {
+            table[(query.name, initial)][1] for initial in initials
+        }
+        assert finals == {query.indicated_flink}, query.name
+        for initial in initials:
+            steps, _final = table[(query.name, initial)]
+            assert len(steps) <= 3, (query.name, initial)

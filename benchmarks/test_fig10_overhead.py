@@ -1,0 +1,70 @@
+"""Figure 10 / section 5.6: instrumentation overhead.
+
+Every Nexmark query runs at its converged configuration with the DS2
+instrumentation off (vanilla) and on (instr); the table compares median
+latencies. The paper's envelope: at most 13% on Flink, at most 20% on
+Timely (Heron needs no extra instrumentation). The simulator's
+per-record instrumentation multipliers are 8% / 15%; the end-to-end
+effect depends on queueing headroom, which this experiment measures.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments.accuracy import converged_flink_plan
+from repro.experiments.overhead import (
+    measure_flink_overhead,
+    measure_timely_overhead,
+)
+from repro.experiments.report import format_table
+from repro.workloads.nexmark import ALL_QUERIES
+
+
+def test_fig10_overhead(benchmark):
+    def experiment():
+        points = []
+        for query in ALL_QUERIES:
+            base = converged_flink_plan(
+                query, duration=1200.0, tick=0.25
+            )
+            points.append(
+                measure_flink_overhead(
+                    query, duration=240.0, tick=0.25, base_plan=base
+                )
+            )
+            points.append(
+                measure_timely_overhead(query, duration=120.0, tick=0.1)
+            )
+        return points
+
+    points = run_once(benchmark, experiment)
+
+    rows = [
+        (
+            p.query,
+            p.runtime,
+            f"{p.vanilla_median * 1000:.1f}",
+            f"{p.instrumented_median * 1000:.1f}",
+            f"{p.relative_overhead:+.0%}",
+        )
+        for p in points
+    ]
+    emit(
+        "fig10_overhead",
+        format_table(
+            ("query", "runtime", "vanilla p50 (ms)", "instr p50 (ms)",
+             "overhead"),
+            rows,
+            title=(
+                "Figure 10: instrumentation overhead (vanilla vs instr)"
+            ),
+        ),
+    )
+
+    for p in points:
+        # Instrumentation never speeds anything up...
+        assert p.instrumented_median >= p.vanilla_median * 0.95
+        # ...and the overhead stays small — the paper's qualitative
+        # claim ("performance penalties are an acceptable trade-off").
+        if p.runtime == "flink":
+            assert p.relative_overhead <= 0.35, p.query
+        else:
+            assert p.relative_overhead <= 0.60, p.query

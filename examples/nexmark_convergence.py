@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Nexmark convergence (a scaled-down Table 4) plus query semantics.
+
+Part 1 exercises the record-level Nexmark implementation: generates an
+event stream and runs the reference query semantics over it, printing
+what each query computes and its measured selectivity.
+
+Part 2 runs DS2 on the simulated Q3 and Q5 dataflows from two initial
+configurations each and prints the per-step parallelism of the main
+operator — the paper's Table 4 rows.
+
+Run with::
+
+    python examples/nexmark_convergence.py
+"""
+
+from repro.experiments.convergence import run_flink_convergence_cell
+from repro.experiments.report import format_steps
+from repro.workloads.nexmark import (
+    GeneratorConfig,
+    NexmarkGenerator,
+    get_query,
+)
+from repro.workloads.nexmark.semantics import (
+    measured_selectivity,
+    q1_currency_conversion,
+    q2_selection,
+    q3_local_item_suggestion,
+    q5_hot_items,
+)
+
+
+def semantics_demo() -> None:
+    print("=== Nexmark event stream & query semantics ===")
+    generator = NexmarkGenerator(GeneratorConfig(seed=7))
+    events = generator.take(50_000)
+    persons = [e for e in events if type(e).__name__ == "Person"]
+    auctions = [e for e in events if type(e).__name__ == "Auction"]
+    bids = [e for e in events if type(e).__name__ == "Bid"]
+    print(
+        f"Generated {len(events):,} events: {len(persons):,} persons, "
+        f"{len(auctions):,} auctions, {len(bids):,} bids "
+        "(Beam's 1:3:46 mix)"
+    )
+
+    converted = q1_currency_conversion(bids)
+    print(
+        f"Q1: converted {len(converted):,} bid prices to EUR "
+        f"(selectivity {measured_selectivity(len(bids), len(converted)):.3f})"
+    )
+
+    selected = q2_selection(bids)
+    print(
+        f"Q2: selected {len(selected):,} bids on watched auctions "
+        f"(selectivity {measured_selectivity(len(bids), len(selected)):.4f})"
+    )
+
+    listings = q3_local_item_suggestion(persons, auctions)
+    print(
+        f"Q3: joined {len(listings):,} local-seller listings from "
+        f"{len(persons):,} persons x {len(auctions):,} auctions"
+    )
+
+    hot = q5_hot_items(bids, window=10.0, slide=2.0)
+    if hot:
+        window_end, hottest = hot[-1]
+        print(
+            f"Q5: hottest auction(s) in the window ending at "
+            f"{window_end:.0f}s: {hottest[:3]}"
+        )
+
+
+def convergence_demo() -> None:
+    print("\n=== DS2 convergence on simulated Nexmark dataflows ===")
+    for name in ("Q3", "Q5"):
+        query = get_query(name)
+        print(
+            f"\n{query.name} ({query.description}); paper-indicated "
+            f"parallelism: {query.indicated_flink}"
+        )
+        for initial in (8, 24):
+            cell = run_flink_convergence_cell(
+                query, initial, duration=1200.0, tick=0.25
+            )
+            print(
+                f"  from {initial:2d}: {format_steps(cell.steps):20s} "
+                f"({cell.step_count} step(s), final {cell.final})"
+            )
+
+
+def main() -> None:
+    semantics_demo()
+    convergence_demo()
+
+
+if __name__ == "__main__":
+    main()

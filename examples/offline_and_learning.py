@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""The paper's optional modes, implemented: offline provisioning and
+learned non-linear scaling curves.
+
+Part 1 (§3, optional mode): micro-benchmark each operator of Nexmark
+Q1 offline at two parallelism levels, fit its scaling curve, and build
+an initial plan — then deploy it and show the online controller has
+nothing left to fix.
+
+Part 2 (§3.4, future work): run vanilla DS2 and the curve-learning
+controller on Q11 from a far-away starting point, showing the learner
+shaves a refinement step.
+
+Run with::
+
+    python examples/offline_and_learning.py
+"""
+
+from repro.core import (
+    ControlLoop,
+    DS2Controller,
+    DS2Policy,
+    LearningDS2Controller,
+    ManagerConfig,
+    offline_provisioning,
+)
+from repro.dataflow import PhysicalPlan
+from repro.engine import EngineConfig, FlinkRuntime, Simulator
+from repro.workloads.nexmark import get_query
+
+
+def offline_demo() -> None:
+    print("=== Offline initial provisioning (paper §3) ===")
+    query = get_query("Q1")
+    graph = query.flink_graph()
+    print(
+        f"Micro-benchmarking {len(graph.scalable_operators())} "
+        "operator(s) at parallelism 1 and 4..."
+    )
+    plan = offline_provisioning(
+        graph, query.flink_rates, duration=20.0, max_parallelism=36
+    )
+    for name in graph.topological_order():
+        print(f"  {name:16s} -> {plan.parallelism_of(name)} instance(s)")
+    print(
+        f"(paper-calibrated optimum for {query.main_operator}: "
+        f"{query.indicated_flink})"
+    )
+
+    simulator = Simulator(
+        plan, FlinkRuntime(),
+        EngineConfig(tick=0.25, track_record_latency=False),
+    )
+    controller = DS2Controller(
+        DS2Policy(graph),
+        ManagerConfig(warmup_intervals=1, activation_intervals=5),
+    )
+    loop = ControlLoop(simulator, controller, policy_interval=30.0)
+    result = loop.run(600.0)
+    print(
+        f"Online corrections needed after deploying the offline plan: "
+        f"{result.scaling_steps}"
+    )
+
+
+def learning_demo() -> None:
+    print("\n=== Learned scaling curves (paper §3.4 future work) ===")
+    query = get_query("Q11")
+
+    def run(label, controller_class):
+        graph = query.flink_graph()
+        plan = PhysicalPlan(
+            graph, query.initial_parallelism(graph, 8),
+            max_parallelism=36,
+        )
+        simulator = Simulator(
+            plan, FlinkRuntime(),
+            EngineConfig(tick=0.25, track_record_latency=False),
+        )
+        controller = controller_class(
+            DS2Policy(graph),
+            ManagerConfig(warmup_intervals=1, activation_intervals=5),
+        )
+        loop = ControlLoop(simulator, controller, policy_interval=30.0)
+        result = loop.run(1500.0)
+        steps = [
+            e.applied[query.main_operator] for e in result.events
+        ]
+        print(
+            f"  {label:12s} steps: "
+            f"{' -> '.join(map(str, [8] + steps))}"
+        )
+        return controller
+
+    run("vanilla DS2", DS2Controller)
+    learning = run("learning DS2", LearningDS2Controller)
+    curve = learning.learner.curve_for(query.main_operator)
+    if curve is not None:
+        print(
+            f"  learned curve for {query.main_operator}: "
+            f"rate(p) = {curve.base_rate:,.0f} / "
+            f"(1 + {curve.alpha:.4f}·(p-1)) "
+            f"from {curve.observations} observations"
+        )
+
+
+def main() -> None:
+    offline_demo()
+    learning_demo()
+
+
+if __name__ == "__main__":
+    main()

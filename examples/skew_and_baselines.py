@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""DS2 under data skew, and why threshold controllers struggle.
+
+Part 1 reproduces section 4.2.3: wordcount with a hot Count instance
+receiving 20%/50%/70% of all words. DS2 converges in two steps to the
+configuration that would be optimal without skew, detects the skew
+signature in its per-instance metrics, refuses to over-provision, and
+freezes further reconfiguration.
+
+Part 2 runs the classic CPU-threshold controller on the same job
+without skew, showing the one-instance-at-a-time crawl DS2 avoids.
+
+Run with::
+
+    python examples/skew_and_baselines.py
+"""
+
+from repro.core import ControlLoop
+from repro.core.baselines import ThresholdConfig, ThresholdController
+from repro.dataflow import PhysicalPlan
+from repro.engine import EngineConfig, FlinkRuntime, Simulator
+from repro.experiments.skew_experiment import run_skew_experiment
+from repro.workloads.wordcount import COUNT, FLATMAP, flink_wordcount_graph
+
+
+def skew_demo() -> None:
+    print("=== DS2 in the presence of skew (section 4.2.3) ===")
+    results = run_skew_experiment(duration=500.0)
+    for r in results:
+        verdict = "converged to no-skew optimum" if (
+            r.converged_to_noskew_optimum
+        ) else "diverged"
+        print(
+            f"skew={r.skew:.0%}: {r.steps} steps -> "
+            f"flatmap={r.final_flatmap}, count={r.final_count} "
+            f"({verdict}); achieved "
+            f"{r.achieved_rate / r.target_rate:.0%} of target; "
+            f"controller frozen={r.frozen}"
+        )
+    print(
+        "Scaling cannot fix a hot key: DS2 stops at the balanced "
+        "optimum\ninstead of chasing the unreachable target."
+    )
+
+
+def threshold_demo() -> None:
+    print("\n=== CPU-threshold baseline on the same workload ===")
+    graph = flink_wordcount_graph(
+        phase_seconds=10_000.0,
+        phase1_rate=1_000_000.0,
+        phase2_rate=1_000_000.0,
+    )
+    plan = PhysicalPlan(
+        graph,
+        {name: 1 for name in graph.names},
+        max_parallelism=36,
+    )
+    simulator = Simulator(
+        plan,
+        FlinkRuntime(),
+        EngineConfig(tick=0.25, track_record_latency=False),
+    )
+    controller = ThresholdController(
+        ThresholdConfig(high_utilization=0.8, low_utilization=0.3)
+    )
+    loop = ControlLoop(simulator, controller, policy_interval=30.0)
+    result = loop.run(1800.0)
+    print(f"{len(result.events)} scaling actions in 30 minutes:")
+    for event in result.events[:12]:
+        print(
+            f"  t={event.time:6.0f}s flatmap={event.applied[FLATMAP]:3d} "
+            f"count={event.applied[COUNT]:3d}"
+        )
+    if len(result.events) > 12:
+        print(f"  ... and {len(result.events) - 12} more")
+    final = simulator.plan.parallelism
+    stats = simulator.last_stats
+    achieved = (
+        stats.source_emitted["source"] / simulator.config.tick
+        if stats
+        else 0.0
+    )
+    print(
+        f"Final: flatmap={final[FLATMAP]}, count={final[COUNT]}; "
+        f"achieved {achieved:,.0f} rec/s of 1,000,000 target."
+    )
+    print(
+        "Additive one-step-at-a-time scaling takes dozens of actions "
+        "(and\nsavepoint outages) for what DS2 does in one to three."
+    )
+
+
+def main() -> None:
+    skew_demo()
+    threshold_demo()
+
+
+if __name__ == "__main__":
+    main()

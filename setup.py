@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+The offline environment lacks the `wheel` package, so PEP 660 editable
+installs (`pip install -e .`) cannot build an editable wheel; this shim
+enables the legacy `python setup.py develop` path used by `make dev`.
+"""
+from setuptools import setup
+
+setup()

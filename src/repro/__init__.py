@@ -1,0 +1,65 @@
+"""Reproduction of DS2 (Kalavri et al., OSDI 2018).
+
+DS2 is an automatic scaling controller for distributed streaming
+dataflows. It estimates each operator's *true* processing and output
+rates (records per unit of useful time) from lightweight
+instrumentation and combines them with the dataflow topology to compute
+the optimal parallelism of every operator in a single decision.
+
+This library contains:
+
+* ``repro.core`` — the DS2 model, policy, scaling manager, and the
+  baseline controllers it is compared against;
+* ``repro.dataflow`` — logical graphs, operator cost models, physical
+  plans;
+* ``repro.engine`` — a discrete-time simulator standing in for Apache
+  Flink, Timely Dataflow, and Heron, with DS2's instrumentation built
+  in;
+* ``repro.workloads`` — the wordcount (Dhalion benchmark) and Nexmark
+  workloads used in the paper's evaluation;
+* ``repro.experiments`` — harnesses regenerating every table and figure
+  of the paper's evaluation section.
+
+See ``examples/quickstart.py`` for a complete end-to-end run.
+"""
+
+from repro.core import (
+    ControlLoop,
+    Controller,
+    DS2Controller,
+    DS2Policy,
+    ExecutionModel,
+    ManagerConfig,
+    compute_optimal_parallelism,
+)
+from repro.dataflow import LogicalGraph, PhysicalPlan
+from repro.engine import (
+    EngineConfig,
+    FlinkRuntime,
+    HeronRuntime,
+    Simulator,
+    TimelyRuntime,
+)
+from repro.metrics import InstanceCounters, MetricsWindow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ControlLoop",
+    "Controller",
+    "DS2Controller",
+    "DS2Policy",
+    "EngineConfig",
+    "ExecutionModel",
+    "FlinkRuntime",
+    "HeronRuntime",
+    "InstanceCounters",
+    "LogicalGraph",
+    "ManagerConfig",
+    "MetricsWindow",
+    "PhysicalPlan",
+    "Simulator",
+    "TimelyRuntime",
+    "compute_optimal_parallelism",
+    "__version__",
+]

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-queries`` — the Nexmark workload registry (paper + extended).
+* ``list-experiments`` — the reproducible tables/figures.
+* ``run <experiment>`` — run one experiment (optionally scaled down)
+  and print the regenerated rows.
+* ``decide`` — one-shot DS2 sizing of the Heron wordcount (the §5.2
+  headline, in two seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.report import (
+    format_rate,
+    format_steps,
+    format_table,
+)
+
+
+# ----------------------------------------------------------------------
+# Experiment runners (scaled by a single --scale factor)
+# ----------------------------------------------------------------------
+
+def _run_fig6(scale: float) -> str:
+    from repro.experiments.comparison import run_dhalion, run_ds2
+
+    dhalion = run_dhalion(duration=3600.0 * scale, tick=0.5)
+    ds2 = run_ds2(duration=max(300.0, 600.0 * scale), tick=0.5)
+    return format_table(
+        ("controller", "steps", "converged (s)", "flatmap", "count",
+         "achieved"),
+        [
+            (r.controller, r.steps, f"{r.convergence_time:.0f}",
+             r.final_flatmap, r.final_count,
+             format_rate(r.achieved_rate))
+            for r in (dhalion, ds2)
+        ],
+        title="Figure 6 / §5.2: DS2 vs Dhalion (optimal: 10/20)",
+    )
+
+
+def _run_fig7(scale: float) -> str:
+    from repro.experiments.dynamic import run_dynamic_scaling
+    from repro.workloads.wordcount import COUNT, FLATMAP
+
+    result = run_dynamic_scaling(
+        phase_seconds=600.0 * scale, tick=0.25
+    )
+    return format_table(
+        ("time (s)", "flatmap", "count"),
+        [
+            (f"{e.time:.0f}", e.applied[FLATMAP], e.applied[COUNT])
+            for e in result.run.loop_result.events
+        ],
+        title="Figure 7 / §5.3: dynamic scaling actions",
+    )
+
+
+def _run_table4(scale: float) -> str:
+    from repro.experiments.convergence import (
+        format_table4,
+        run_table4,
+    )
+
+    cells = run_table4(duration=1500.0 * scale, tick=0.25)
+    return format_table4(cells)
+
+
+def _run_fig9(scale: float) -> str:
+    from repro.experiments.accuracy import (
+        FIGURE9_QUERIES,
+        run_figure9,
+    )
+
+    rows = []
+    for query in FIGURE9_QUERIES:
+        for point in run_figure9(
+            query, duration=max(60.0, 120.0 * scale)
+        ):
+            dist = point.epoch_latency
+            rows.append((
+                query.name,
+                point.workers,
+                f"{dist.median():.2f}" if len(dist) else "inf",
+                f"{point.fraction_above_target:.0%}",
+            ))
+    return format_table(
+        ("query", "workers", "epoch p50 (s)", "epochs > 1 s"),
+        rows,
+        title="Figure 9 / §5.5: epoch latency vs workers (optimal: 4)",
+    )
+
+
+def _run_skew(scale: float) -> str:
+    from repro.experiments.skew_experiment import run_skew_experiment
+
+    results = run_skew_experiment(
+        duration=max(300.0, 600.0 * scale), tick=0.25
+    )
+    return format_table(
+        ("skew", "steps", "final", "no-skew optimum",
+         "achieved/target"),
+        [
+            (f"{r.skew:.0%}", r.steps,
+             f"({r.final_flatmap}, {r.final_count})",
+             f"({r.noskew_flatmap}, {r.noskew_count})",
+             f"{r.achieved_rate / r.target_rate:.0%}")
+            for r in results
+        ],
+        title="§4.2.3: DS2 under data skew",
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[float], str]] = {
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "table4": _run_table4,
+    "fig9": _run_fig9,
+    "skew": _run_skew,
+}
+
+EXPERIMENT_DESCRIPTIONS = {
+    "fig6": "DS2 vs Dhalion on Heron wordcount (§5.2)",
+    "fig7": "dynamic scaling on Flink wordcount (§5.3)",
+    "table4": "Nexmark convergence sweep (§5.4)",
+    "fig9": "Timely epoch-latency accuracy (§5.5)",
+    "skew": "DS2 under data skew (§4.2.3)",
+}
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+def cmd_list_queries(_args: argparse.Namespace) -> int:
+    from repro.workloads.nexmark import ALL_QUERIES, EXTENDED_QUERIES
+
+    rows = []
+    for query in ALL_QUERIES:
+        rows.append((
+            query.name, "paper", query.description,
+            query.main_operator, query.indicated_flink,
+        ))
+    for query in EXTENDED_QUERIES:
+        rows.append((
+            query.name, "extended", query.description,
+            query.main_operator, query.indicated_flink,
+        ))
+    print(format_table(
+        ("query", "suite", "description", "main operator",
+         "optimal parallelism"),
+        rows,
+    ))
+    return 0
+
+
+def cmd_list_experiments(_args: argparse.Namespace) -> int:
+    print(format_table(
+        ("experiment", "reproduces"),
+        sorted(EXPERIMENT_DESCRIPTIONS.items()),
+    ))
+    print("\nRun one with: python -m repro run <experiment> "
+          "[--scale 0.5]")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is None:
+        print(
+            f"unknown experiment {args.experiment!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    print(runner(args.scale))
+    return 0
+
+
+def cmd_decide(_args: argparse.Namespace) -> int:
+    from repro.core import compute_optimal_parallelism
+    from repro.dataflow.physical import PhysicalPlan
+    from repro.engine.runtimes import HeronRuntime
+    from repro.engine.simulator import EngineConfig, Simulator
+    from repro.workloads.wordcount import heron_wordcount_graph
+
+    graph = heron_wordcount_graph()
+    plan = PhysicalPlan(graph, {name: 1 for name in graph.names})
+    simulator = Simulator(
+        plan, HeronRuntime(),
+        EngineConfig(tick=0.5, track_record_latency=False),
+    )
+    simulator.run_for(60.0)
+    window = simulator.collect_metrics()
+    result = compute_optimal_parallelism(
+        graph, window, simulator.source_target_rates()
+    )
+    print(format_table(
+        ("operator", "current", "optimal"),
+        [
+            (name, 1, estimate.optimal_parallelism)
+            for name, estimate in result.estimates.items()
+        ],
+        title=(
+            "DS2 decision from one 60 s window of the "
+            "under-provisioned Heron wordcount"
+        ),
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "DS2 reproduction (OSDI 2018): automatic scaling decisions "
+            "for distributed streaming dataflows"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser(
+        "list-queries", help="show the Nexmark workload registry"
+    ).set_defaults(func=cmd_list_queries)
+    sub.add_parser(
+        "list-experiments", help="show the reproducible experiments"
+    ).set_defaults(func=cmd_list_experiments)
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id (see list)")
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="duration scale factor (e.g. 0.3 for a quick look)",
+    )
+    run.set_defaults(func=cmd_run)
+    sub.add_parser(
+        "decide", help="one-shot DS2 sizing of the Heron wordcount"
+    ).set_defaults(func=cmd_decide)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 1
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

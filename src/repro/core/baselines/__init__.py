@@ -1,0 +1,23 @@
+"""Baseline scaling controllers DS2 is compared against.
+
+* :class:`~repro.core.baselines.dhalion.DhalionController` — a
+  reimplementation of Dhalion's published policy logic (backpressure
+  symptom detection, single-operator speculative resolution,
+  blacklisting), used for the paper's Figure 1 / Figure 6 comparison.
+* :class:`~repro.core.baselines.threshold.ThresholdController` — the
+  classic CPU-utilization threshold policy that section 2 of the paper
+  argues is inadequate; used in ablation benchmarks.
+"""
+
+from repro.core.baselines.dhalion import DhalionConfig, DhalionController
+from repro.core.baselines.threshold import (
+    ThresholdConfig,
+    ThresholdController,
+)
+
+__all__ = [
+    "DhalionConfig",
+    "DhalionController",
+    "ThresholdConfig",
+    "ThresholdController",
+]

@@ -1,0 +1,223 @@
+"""A Dhalion-style scaling controller (Floratou et al., PVLDB 2017).
+
+Dhalion is the state-of-the-art controller the DS2 paper compares
+against (sections 1 and 5.2). Its policy is rule-based and driven by
+coarse externally observed signals:
+
+1. **Symptom detection** — a backpressure signal raised by the runtime
+   when an operator's queue crosses a high-water mark (Heron raises it
+   only once the 100 MiB queue is nearly full, which is why Dhalion is
+   slow to react).
+2. **Diagnosis** — the operator initiating backpressure (fullest queue)
+   is the bottleneck.
+3. **Resolution** — scale up *only that operator*, speculatively, by the
+   ratio of its observed input demand to its observed processing rate
+   plus enough headroom to drain the accumulated backlog.
+
+Because the observed rates are suppressed by the very backpressure that
+triggered the action, the factor underestimates the true demand, so
+multiple rounds are needed; and because the backlog term is computed
+from Heron's huge queues, the final round overshoots — the
+over-provisioned end state of Figure 6. Configurations that yielded no
+improvement are blacklisted so the controller never retries them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.controller import Controller, Observation
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class DhalionConfig:
+    """Knobs of the Dhalion-style policy.
+
+    Attributes:
+        cooldown_intervals: Policy intervals to wait after an action
+            before diagnosing again (the system must stabilize and
+            queues must re-fill before the backpressure signal is
+            trustworthy).
+        max_scale_factor: Upper bound on the multiplicative scale-up
+            step. Dhalion's resolver derives the factor from how long
+            the operator was backpressured, ``1/(1 - bp_fraction)``,
+            which is unbounded as the fraction approaches 1, so the
+            implementation caps it; the cap keeps steps speculative and
+            conservative — the root cause of multi-step convergence.
+        min_scale_step: Lower bound on the multiplicative scale-up step.
+        backpressure_clamp: Upper clamp on the backpressure fraction
+            before computing the factor (a fully saturated operator
+            should not produce an infinite step).
+        scale_down_enabled: Whether to scale down underutilized
+            operators (off for the paper's scale-up benchmark).
+        scale_down_utilization: CPU-utilization threshold below which an
+            operator is considered over-provisioned.
+    """
+
+    cooldown_intervals: int = 2
+    max_scale_factor: float = 2.5
+    min_scale_step: float = 1.2
+    backpressure_clamp: float = 0.55
+    scale_down_enabled: bool = False
+    scale_down_utilization: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.cooldown_intervals < 0:
+            raise PolicyError("cooldown_intervals must be >= 0")
+        if self.max_scale_factor <= 1.0:
+            raise PolicyError("max_scale_factor must be > 1")
+        if self.min_scale_step <= 1.0:
+            raise PolicyError("min_scale_step must be > 1")
+        if not 0.0 < self.backpressure_clamp < 1.0:
+            raise PolicyError("backpressure_clamp must be in (0, 1)")
+        if not 0.0 < self.scale_down_utilization < 1.0:
+            raise PolicyError(
+                "scale_down_utilization must be in (0, 1)"
+            )
+
+
+class DhalionController(Controller):
+    """Rule-based, backpressure-driven, single-operator controller."""
+
+    name = "dhalion"
+
+    def __init__(self, config: Optional[DhalionConfig] = None) -> None:
+        self._config = config or DhalionConfig()
+        self._cooldown = 0
+        # Highest parallelism already tried per operator that failed to
+        # remove backpressure — never propose anything <= this again.
+        self._blacklist_floor: Dict[str, int] = {}
+        self._last_scaled: Optional[str] = None
+
+    @property
+    def config(self) -> DhalionConfig:
+        return self._config
+
+    def reset(self) -> None:
+        self._cooldown = 0
+        self._blacklist_floor = {}
+        self._last_scaled = None
+
+    # ------------------------------------------------------------------
+    # Controller interface
+    # ------------------------------------------------------------------
+
+    def on_metrics(
+        self, observation: Observation
+    ) -> Optional[Dict[str, int]]:
+        if observation.in_outage or observation.window.outage_fraction > 0:
+            return None
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        bottleneck = self._diagnose(observation)
+        if bottleneck is not None:
+            return self._resolve_scale_up(observation, bottleneck)
+        if self._config.scale_down_enabled:
+            return self._resolve_scale_down(observation)
+        return None
+
+    def notify_rescaled(
+        self, time: float, outage_seconds: float, new_parallelism
+    ) -> None:
+        self._cooldown = self._config.cooldown_intervals
+
+    # ------------------------------------------------------------------
+    # Symptom detection & diagnosis
+    # ------------------------------------------------------------------
+
+    def _diagnose(self, observation: Observation) -> Optional[str]:
+        """The operator *initiating* backpressure.
+
+        An operator blocked by a slow downstream neighbour shows a full
+        input queue too, so the fullest queue alone misdiagnoses: the
+        initiator is a backpressured operator none of whose downstream
+        operators is itself backpressured — i.e. the most downstream
+        member of the backpressured set. Ties break on queue fill.
+        """
+        flagged = {
+            name
+            for name, health in observation.window.health.items()
+            if health.backpressure
+            and name in observation.current_parallelism
+        }
+        if not flagged:
+            return None
+        graph = observation.graph
+        candidates = []
+        for name in flagged:
+            if graph is not None:
+                blocked_by_downstream = any(
+                    down in flagged for down in graph.downstream(name)
+                )
+                if blocked_by_downstream:
+                    continue
+            fill = observation.window.health[name].queue_fill
+            candidates.append((fill, name))
+        if not candidates:
+            # Cycle-free graphs always leave at least one initiator,
+            # but guard for graph-less observations.
+            candidates = [
+                (observation.window.health[name].queue_fill, name)
+                for name in flagged
+            ]
+        candidates.sort(reverse=True)
+        return candidates[0][1]
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_scale_up(
+        self, observation: Observation, bottleneck: str
+    ) -> Optional[Dict[str, int]]:
+        """Dhalion's resolver: scale the bottleneck up by
+        ``1 / (1 - backpressure_fraction)``, clamped and capped.
+
+        The factor is derived purely from the externally observed
+        backpressure duration — not from any notion of the operator's
+        true capacity — which is why it systematically under- or
+        over-shoots and needs several rounds to converge.
+        """
+        window = observation.window
+        current = observation.current_parallelism[bottleneck]
+        health = window.health[bottleneck]
+        bp = min(health.backpressure_fraction,
+                 self._config.backpressure_clamp)
+        factor = 1.0 / (1.0 - bp)
+        factor = min(factor, self._config.max_scale_factor)
+        factor = max(factor, self._config.min_scale_step)
+        proposed = max(current + 1, math.ceil(current * factor))
+        floor = self._blacklist_floor.get(bottleneck, 0)
+        if self._last_scaled == bottleneck and current <= floor:
+            # The previous attempt on this operator did not lift the
+            # backpressure: blacklist it and move strictly beyond it.
+            proposed = max(proposed, current + 1)
+        self._blacklist_floor[bottleneck] = max(floor, current)
+        self._last_scaled = bottleneck
+        return {bottleneck: proposed}
+
+    def _resolve_scale_down(
+        self, observation: Observation
+    ) -> Optional[Dict[str, int]]:
+        """Scale down the most underutilized operator by one instance."""
+        window = observation.window
+        best: Optional[str] = None
+        best_util = self._config.scale_down_utilization
+        for name, current in observation.current_parallelism.items():
+            if current <= 1:
+                continue
+            util = window.cpu_utilization(name)
+            if util < best_util:
+                best = name
+                best_util = util
+        if best is None:
+            return None
+        current = observation.current_parallelism[best]
+        return {best: current - 1}
+
+
+__all__ = ["DhalionConfig", "DhalionController"]

@@ -1,0 +1,253 @@
+"""Controller interface and the closed control loop.
+
+The paper's architecture (Figure 5) separates the *scaling policy* (the
+model), the *scaling manager* (operational logic: intervals, warm-up,
+activation), and the stream processor. Here:
+
+* :class:`Controller` is the interface every scaling controller
+  implements — DS2 and the baselines (Dhalion-style, threshold-style)
+  alike. It consumes an :class:`Observation` per policy interval and
+  optionally returns a desired parallelism.
+* :class:`ControlLoop` wires a controller to a simulated job: it steps
+  the engine, collects metrics windows at the policy interval, invokes
+  the controller, and applies scaling commands through the engine's
+  rescaling mechanism. It also records the decision/observation
+  timeline that the experiment harness turns into the paper's figures.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.dataflow.graph import LogicalGraph
+from repro.dataflow.physical import PhysicalPlan
+from repro.engine.simulator import Simulator, TickStats
+from repro.errors import PolicyError
+from repro.metrics import MetricsWindow
+
+if TYPE_CHECKING:  # import-cycle guard: repository imports metrics only
+    from repro.core.repository import MetricsRepository
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Everything a controller sees at one policy interval.
+
+    ``graph`` is the static logical topology — known to every real
+    controller at deployment time (DS2 instantiates its model with it;
+    Dhalion's diagnosers walk it to find the backpressure initiator).
+    """
+
+    time: float
+    window: MetricsWindow
+    source_target_rates: Mapping[str, float]
+    current_parallelism: Mapping[str, int]
+    backpressured: Tuple[str, ...]
+    in_outage: bool
+    graph: Optional["LogicalGraph"] = None
+
+
+class Controller(abc.ABC):
+    """A scaling controller: observes metrics, proposes parallelism."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def on_metrics(
+        self, observation: Observation
+    ) -> Optional[Dict[str, int]]:
+        """Process one observation; return the desired parallelism per
+        operator if a scaling action should be taken, else None."""
+
+    def notify_rescaled(
+        self,
+        time: float,
+        outage_seconds: float,
+        new_parallelism: Mapping[str, int],
+    ) -> None:
+        """Called by the loop after a scaling command was applied."""
+
+    def reset(self) -> None:
+        """Clear controller state (fresh deployment)."""
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One applied scaling action."""
+
+    time: float
+    requested: Dict[str, int]
+    applied: Dict[str, int]
+    outage_seconds: float
+
+
+@dataclass
+class LoopResult:
+    """Timeline produced by one control-loop run."""
+
+    events: List[ScalingEvent] = field(default_factory=list)
+    windows: List[MetricsWindow] = field(default_factory=list)
+    decisions: List[Tuple[float, Optional[Dict[str, int]]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def scaling_steps(self) -> int:
+        """Number of reconfigurations applied."""
+        return len(self.events)
+
+    def parallelism_trace(self, operator: str) -> List[Tuple[float, int]]:
+        """(time, parallelism) pairs for one operator, one per event."""
+        return [
+            (event.time, event.applied[operator])
+            for event in self.events
+            if operator in event.applied
+        ]
+
+
+class ControlLoop:
+    """Closed loop between a simulated job and a scaling controller."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        controller: Controller,
+        policy_interval: float,
+        scalable_operators: Optional[Tuple[str, ...]] = None,
+        tick_observer: Optional[Callable[[TickStats], None]] = None,
+        repository: Optional["MetricsRepository"] = None,
+    ) -> None:
+        """Args:
+            simulator: The job under control.
+            controller: The scaling controller.
+            policy_interval: Seconds of virtual time between metric
+                collections / policy invocations.
+            scalable_operators: Operators the loop may rescale; defaults
+                to the graph's data-parallel non-source, non-sink
+                operators. Requests for other operators are dropped
+                (the paper's "users tag non-parallel operators for DS2
+                to ignore").
+            tick_observer: Optional callback invoked with every
+                :class:`TickStats` (used to build time series).
+            repository: Optional metrics repository (paper Figure 5);
+                every collected window is reported into it, giving
+                policies access to bounded history (lookback merging,
+                per-operator scaling history).
+        """
+        if policy_interval <= 0:
+            raise PolicyError("policy_interval must be > 0")
+        self._sim = simulator
+        self._controller = controller
+        self._interval = policy_interval
+        self._scalable = (
+            scalable_operators
+            if scalable_operators is not None
+            else simulator.graph.scalable_operators()
+        )
+        unknown = set(self._scalable) - set(simulator.graph.names)
+        if unknown:
+            raise PolicyError(f"unknown scalable operators {sorted(unknown)}")
+        self._tick_observer = tick_observer
+        self._repository = repository
+        self.result = LoopResult()
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._sim
+
+    @property
+    def controller(self) -> Controller:
+        return self._controller
+
+    @property
+    def scalable_operators(self) -> Tuple[str, ...]:
+        return self._scalable
+
+    def run(self, duration: float) -> LoopResult:
+        """Run the loop for ``duration`` seconds of virtual time."""
+        if duration < 0:
+            raise PolicyError("duration must be >= 0")
+        end = self._sim.time + duration
+        while self._sim.time < end - 1e-9:
+            next_decision = min(end, self._sim.time + self._interval)
+            while self._sim.time < next_decision - 1e-9:
+                stats = self._sim.step()
+                if self._tick_observer is not None:
+                    self._tick_observer(stats)
+            self._invoke_policy()
+        return self.result
+
+    @property
+    def repository(self) -> Optional["MetricsRepository"]:
+        return self._repository
+
+    def _invoke_policy(self) -> None:
+        window = self._sim.collect_metrics()
+        self.result.windows.append(window)
+        if self._repository is not None:
+            self._repository.report(window)
+        observation = Observation(
+            time=self._sim.time,
+            window=window,
+            source_target_rates=self._sim.source_target_rates(),
+            current_parallelism=self._sim.plan.parallelism,
+            backpressured=self._sim.backpressured_operators(),
+            in_outage=self._sim.in_outage,
+            graph=self._sim.graph,
+        )
+        desired = self._controller.on_metrics(observation)
+        self.result.decisions.append((self._sim.time, desired))
+        if desired is None or self._sim.in_outage:
+            return
+        requested = {
+            name: p for name, p in desired.items() if name in self._scalable
+        }
+        if not requested:
+            return
+        current = self._sim.plan.parallelism
+        if all(current[name] == p for name, p in requested.items()):
+            return
+        outage = self._sim.rescale(requested)
+        applied = self._sim.plan.parallelism if outage == 0 else (
+            self._pending_parallelism(requested)
+        )
+        event = ScalingEvent(
+            time=self._sim.time,
+            requested=dict(requested),
+            applied=applied,
+            outage_seconds=outage,
+        )
+        self.result.events.append(event)
+        self._controller.notify_rescaled(
+            time=self._sim.time,
+            outage_seconds=outage,
+            new_parallelism=applied,
+        )
+
+    def _pending_parallelism(
+        self, requested: Mapping[str, int]
+    ) -> Dict[str, int]:
+        """Parallelism that will be live once the in-flight redeploy
+        completes (the simulator still reports the old plan during the
+        outage)."""
+        pending = self._sim.plan.clamped(requested)
+        return pending.parallelism
+
+
+__all__ = [
+    "ControlLoop",
+    "Controller",
+    "LoopResult",
+    "Observation",
+    "ScalingEvent",
+]

@@ -1,0 +1,389 @@
+"""The DS2 scaling manager (paper sections 4.2.1-4.2.2).
+
+Wraps the pure scaling policy with the operational logic a real
+deployment needs:
+
+* **Policy interval** — how often metrics are gathered and the policy
+  invoked (owned by the control loop; the manager sees one observation
+  per interval).
+* **Warm-up time** — a number of consecutive policy intervals ignored
+  after a scaling action, since rates are unstable right after a
+  redeploy. Windows overlapping a reconfiguration outage are always
+  ignored.
+* **Activation time** — the number of consecutive policy decisions
+  aggregated (median or max per operator) before a scaling command is
+  issued, smoothing out irregular computations such as tumbling windows.
+* **Target rate ratio** — the maximum tolerated shortfall between the
+  achieved source rate and the target rate. If the model considers the
+  current configuration optimal but the job still cannot reach the
+  target (overheads not captured by instrumentation: coordination,
+  channel selection, contention), the manager scales the next decision
+  by ``target/achieved``.
+* **Minor-change suppression** — optionally ignore decisions that move
+  an operator by at most N instances (noise guard; off by default).
+* **Rollback** — if performance degraded after a scaling action, revert
+  to the previous configuration.
+* **Decision limit** — bound the number of consecutive scaling actions
+  that yield no improvement (e.g. under data skew, which scaling cannot
+  fix), guaranteeing convergence.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Mapping, Optional, Tuple
+
+from repro.core.controller import Controller, Observation
+from repro.core.policy import DS2Policy, PolicyDecision
+from repro.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class ManagerConfig:
+    """Operational knobs of the scaling manager.
+
+    Defaults mirror the paper's Flink experiments (section 5.3):
+    30 s warm-up at a 10 s policy interval is ``warmup_intervals=3``.
+    """
+
+    warmup_intervals: int = 0
+    activation_intervals: int = 1
+    target_ratio: float = 1.0
+    activation_aggregate: str = "median"
+    suppress_minor_change: int = 0
+    rollback_on_degradation: bool = True
+    degradation_factor: float = 0.8
+    max_useless_decisions: Optional[int] = None
+    max_rate_compensation: float = 2.0
+    #: Refuse target-rate compensation when per-instance metrics show a
+    #: data-skew signature — throwing instances at a hot key cannot meet
+    #: the target and would over-provision (section 4.2.3). The skew
+    #: detector compares each operator's hottest instance against the
+    #: mean observed processing rate.
+    skew_detection: bool = True
+    skew_imbalance_threshold: float = 1.15
+    skew_saturation_threshold: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.warmup_intervals < 0:
+            raise PolicyError("warmup_intervals must be >= 0")
+        if self.activation_intervals < 1:
+            raise PolicyError("activation_intervals must be >= 1")
+        if not 0.0 < self.target_ratio <= 1.0:
+            raise PolicyError("target_ratio must be in (0, 1]")
+        if self.activation_aggregate not in ("median", "max"):
+            raise PolicyError(
+                "activation_aggregate must be 'median' or 'max'"
+            )
+        if self.suppress_minor_change < 0:
+            raise PolicyError("suppress_minor_change must be >= 0")
+        if not 0.0 < self.degradation_factor <= 1.0:
+            raise PolicyError("degradation_factor must be in (0, 1]")
+        if (
+            self.max_useless_decisions is not None
+            and self.max_useless_decisions < 1
+        ):
+            raise PolicyError("max_useless_decisions must be >= 1")
+        if self.max_rate_compensation < 1.0:
+            raise PolicyError("max_rate_compensation must be >= 1")
+        if self.skew_imbalance_threshold < 1.0:
+            raise PolicyError("skew_imbalance_threshold must be >= 1")
+        if not 0.0 < self.skew_saturation_threshold <= 1.0:
+            raise PolicyError(
+                "skew_saturation_threshold must be in (0, 1]"
+            )
+
+
+class DS2Controller(Controller):
+    """DS2: the scaling policy plus the scaling manager."""
+
+    name = "ds2"
+
+    def __init__(
+        self, policy: DS2Policy, config: Optional[ManagerConfig] = None
+    ) -> None:
+        self._policy = policy
+        self._config = config or ManagerConfig()
+        self._pending: Deque[Dict[str, int]] = deque(
+            maxlen=self._config.activation_intervals
+        )
+        # Warm-up also applies at job start: rate measurements are
+        # unstable while buffers fill (section 4.2.1).
+        self._warmup_remaining = self._config.warmup_intervals
+        self._rate_compensation = 1.0
+        self._useless_decisions = 0
+        self._frozen = False
+        self._previous_parallelism: Optional[Dict[str, int]] = None
+        self._achieved_before_action: Optional[float] = None
+        self._last_decision: Optional[PolicyDecision] = None
+
+    # ------------------------------------------------------------------
+    # Introspection (used by experiments and tests)
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> ManagerConfig:
+        return self._config
+
+    @property
+    def policy(self) -> DS2Policy:
+        return self._policy
+
+    @property
+    def rate_compensation(self) -> float:
+        """Current target-rate compensation multiplier (>= 1)."""
+        return self._rate_compensation
+
+    @property
+    def frozen(self) -> bool:
+        """True once the decision limit stopped further scaling."""
+        return self._frozen
+
+    @property
+    def last_decision(self) -> Optional[PolicyDecision]:
+        return self._last_decision
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self._warmup_remaining = self._config.warmup_intervals
+        self._rate_compensation = 1.0
+        self._useless_decisions = 0
+        self._frozen = False
+        self._previous_parallelism = None
+        self._achieved_before_action = None
+        self._last_decision = None
+
+    # ------------------------------------------------------------------
+    # Controller interface
+    # ------------------------------------------------------------------
+
+    def on_metrics(
+        self, observation: Observation
+    ) -> Optional[Dict[str, int]]:
+        if self._frozen:
+            return None
+        window = observation.window
+        if observation.in_outage or window.outage_fraction > 0.0:
+            # The job was (partly) down: rates are meaningless.
+            return None
+        if self._warmup_remaining > 0:
+            self._warmup_remaining -= 1
+            return None
+
+        achieved = self._achieved_rate(observation)
+        target = sum(observation.source_target_rates.values())
+
+        rollback = self._maybe_rollback(achieved, target)
+        if rollback is not None:
+            return rollback
+
+        decision = self._policy.decide(
+            window=window,
+            source_rates=observation.source_target_rates,
+            rate_compensation=self._rate_compensation,
+        )
+        self._last_decision = decision
+        if not decision.actionable:
+            return None
+
+        self._pending.append(decision.parallelism)
+        if len(self._pending) < self._config.activation_intervals:
+            return None
+        aggregated = self._aggregate_pending()
+        self._pending.clear()
+
+        current = {
+            name: observation.current_parallelism[name]
+            for name in aggregated
+        }
+        aggregated = self._suppress_minor(aggregated, current)
+
+        if aggregated == current:
+            if target > 0 and achieved >= target * self._config.target_ratio:
+                # Converged and healthy. Any previously learned
+                # compensation is no longer needed: at the current
+                # parallelism the *measured* true rates already include
+                # every real overhead, so the un-compensated model is
+                # exact here and resetting cannot trigger a downsize.
+                self._rate_compensation = 1.0
+                self._useless_decisions = 0
+                return None
+            # Model says the current configuration is optimal but the
+            # source still cannot reach the target rate: the shortfall
+            # comes from overheads the instrumentation cannot see;
+            # compensate (section 4.2.1, "target rate ratio").
+            compensated = self._maybe_compensate(
+                observation, achieved, target
+            )
+            if compensated is not None and compensated != current:
+                self._record_action(observation, achieved)
+                return compensated
+            return None
+
+        self._record_action(observation, achieved)
+        return aggregated
+
+    def notify_rescaled(
+        self,
+        time: float,
+        outage_seconds: float,
+        new_parallelism: Mapping[str, int],
+    ) -> None:
+        self._warmup_remaining = self._config.warmup_intervals
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _achieved_rate(observation: Observation) -> float:
+        """Total observed source output rate over the window."""
+        return sum(
+            observation.window.source_observed_rates.get(name, 0.0)
+            for name in observation.source_target_rates
+        )
+
+    def _aggregate_pending(self) -> Dict[str, int]:
+        """Median/max parallelism per operator across the activation
+        window's decisions."""
+        operators = self._pending[-1].keys()
+        aggregated: Dict[str, int] = {}
+        for name in operators:
+            values = [d[name] for d in self._pending if name in d]
+            if self._config.activation_aggregate == "max":
+                aggregated[name] = max(values)
+            else:
+                aggregated[name] = int(
+                    round(statistics.median(values))
+                )
+        return aggregated
+
+    def _suppress_minor(
+        self, desired: Dict[str, int], current: Dict[str, int]
+    ) -> Dict[str, int]:
+        threshold = self._config.suppress_minor_change
+        if threshold <= 0:
+            return desired
+        result = dict(desired)
+        for name, value in desired.items():
+            if abs(value - current[name]) <= threshold:
+                result[name] = current[name]
+        return result
+
+    def detect_skewed_operators(
+        self, observation: Observation
+    ) -> Tuple[str, ...]:
+        """Operators whose per-instance metrics show a hot-instance
+        signature (the paper's skew detector, Figure 5): one instance
+        saturated while the operator's mean utilization lags behind.
+
+        A balanced under-provisioned operator saturates *every*
+        instance (ratio near 1) and is not flagged.
+        """
+        window = observation.window
+        skewed = []
+        for name in observation.current_parallelism:
+            if name not in window.operators():
+                continue
+            if window.parallelism_of(name) < 2:
+                continue
+            peak, ratio = window.utilization_imbalance(name)
+            if (
+                peak >= self._config.skew_saturation_threshold
+                and ratio >= self._config.skew_imbalance_threshold
+            ):
+                skewed.append(name)
+        return tuple(sorted(skewed))
+
+    def _maybe_compensate(
+        self,
+        observation: Observation,
+        achieved: float,
+        target: float,
+    ) -> Optional[Dict[str, int]]:
+        if target <= 0 or achieved <= 0:
+            return None
+        if achieved >= target * self._config.target_ratio - 1e-9:
+            return None
+        if self._config.skew_detection and self.detect_skewed_operators(
+            observation
+        ):
+            # The shortfall comes from data imbalance, which additional
+            # parallelism cannot fix: do not inflate the target. Count
+            # the stalled decision so the limiter eventually freezes
+            # further reconfiguration (section 4.2.2).
+            self._useless_decisions += 1
+            limit = self._config.max_useless_decisions
+            if limit is not None and self._useless_decisions >= limit:
+                self._frozen = True
+            return None
+        factor = min(
+            target / achieved, self._config.max_rate_compensation
+        )
+        if factor <= self._rate_compensation + 1e-6:
+            # Compensation already applied and did not help; count it as
+            # a useless decision (possible skew/straggler, which scaling
+            # cannot fix — section 4.2.2).
+            self._useless_decisions += 1
+            limit = self._config.max_useless_decisions
+            if limit is not None and self._useless_decisions >= limit:
+                self._frozen = True
+            return None
+        self._rate_compensation = factor
+        decision = self._policy.decide(
+            window=observation.window,
+            source_rates=observation.source_target_rates,
+            rate_compensation=self._rate_compensation,
+        )
+        self._last_decision = decision
+        if not decision.actionable:
+            return None
+        return decision.parallelism
+
+    def _maybe_rollback(
+        self, achieved: float, target: float
+    ) -> Optional[Dict[str, int]]:
+        """Revert the previous action if it degraded throughput.
+
+        Degradation means the achieved source rate both dropped
+        materially versus before the action *and* misses the target —
+        a lower achieved rate after a scale-down under a lower target
+        is the expected outcome, not a regression.
+        """
+        if not self._config.rollback_on_degradation:
+            self._achieved_before_action = None
+            return None
+        if (
+            self._previous_parallelism is None
+            or self._achieved_before_action is None
+        ):
+            return None
+        before = self._achieved_before_action
+        previous = self._previous_parallelism
+        self._achieved_before_action = None
+        self._previous_parallelism = None
+        degraded = (
+            before > 0
+            and achieved < before * self._config.degradation_factor
+            and achieved < target * self._config.target_ratio
+        )
+        if degraded:
+            self._frozen = False
+            self._useless_decisions = 0
+            return previous
+        return None
+
+    def _record_action(
+        self, observation: Observation, achieved: float
+    ) -> None:
+        self._previous_parallelism = {
+            name: observation.current_parallelism[name]
+            for name in observation.current_parallelism
+        }
+        self._achieved_before_action = achieved
+
+
+__all__ = ["DS2Controller", "ManagerConfig"]

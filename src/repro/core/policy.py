@@ -1,0 +1,114 @@
+"""The DS2 scaling policy: from a metrics window to a parallelism plan.
+
+Thin layer over :mod:`repro.core.model` that adapts the model's output
+to the reference system's execution model (section 4.3 of the paper):
+
+* ``per-operator`` mode (Flink, Heron): each operator gets its own
+  optimal parallelism ``π_i`` from Eq. 7.
+* ``global`` mode (Timely): all operators share one worker pool, so the
+  policy sums the per-operator optima and assigns the total to every
+  operator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.model import ModelEvaluation, compute_optimal_parallelism
+from repro.dataflow.graph import LogicalGraph
+from repro.errors import PolicyError
+from repro.metrics import MetricsWindow
+
+
+class ExecutionModel(enum.Enum):
+    """How the reference system assigns workers to operators."""
+
+    PER_OPERATOR = "per-operator"
+    GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One policy invocation's output."""
+
+    parallelism: Dict[str, int]
+    evaluation: ModelEvaluation
+
+    @property
+    def actionable(self) -> bool:
+        """Whether the decision is safe to act on.
+
+        Operators whose true rates are unknown are *kept at their
+        current parallelism* by the model, so their presence does not
+        make acting unsafe — a nearly idle sink, for instance, may
+        accumulate too little useful time to measure, forever. The
+        decision is unactionable only when every operator it covers is
+        unknown (e.g. the first window right after a redeploy).
+        """
+        unknown = set(self.evaluation.unknown_operators)
+        covered = set(self.parallelism)
+        return bool(covered - unknown)
+
+
+class DS2Policy:
+    """Evaluates the DS2 model for a given graph and execution model."""
+
+    def __init__(
+        self,
+        graph: LogicalGraph,
+        execution_model: ExecutionModel = ExecutionModel.PER_OPERATOR,
+        scalable_operators: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        self._graph = graph
+        self._execution_model = execution_model
+        self._scalable = (
+            scalable_operators
+            if scalable_operators is not None
+            else graph.scalable_operators()
+        )
+        unknown = set(self._scalable) - set(graph.names)
+        if unknown:
+            raise PolicyError(
+                f"unknown scalable operators {sorted(unknown)}"
+            )
+
+    @property
+    def graph(self) -> LogicalGraph:
+        return self._graph
+
+    @property
+    def execution_model(self) -> ExecutionModel:
+        return self._execution_model
+
+    def decide(
+        self,
+        window: MetricsWindow,
+        source_rates: Mapping[str, float],
+        rate_compensation: float = 1.0,
+    ) -> PolicyDecision:
+        """One scaling decision from one metrics window."""
+        evaluation = compute_optimal_parallelism(
+            graph=self._graph,
+            window=window,
+            source_rates=source_rates,
+            rate_compensation=rate_compensation,
+        )
+        if self._execution_model is ExecutionModel.GLOBAL:
+            workers = evaluation.global_parallelism()
+            parallelism = {
+                name: workers for name in self._graph.names
+            }
+        else:
+            parallelism = {
+                name: est.optimal_parallelism
+                for name, est in evaluation.estimates.items()
+                if name in self._scalable
+            }
+        return PolicyDecision(
+            parallelism=parallelism, evaluation=evaluation
+        )
+
+
+__all__ = ["DS2Policy", "ExecutionModel", "PolicyDecision"]

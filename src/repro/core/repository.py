@@ -1,0 +1,103 @@
+"""The metrics repository (paper Figure 5).
+
+In the paper's architecture, instrumented jobs report metrics to a
+repository; the Scaling Manager monitors it and invokes the policy when
+new metrics are available. This module provides that component:
+a bounded, queryable store of :class:`~repro.metrics.MetricsWindow`
+objects with retention, lookback merging (for policies that want a
+longer effective window than the reporting interval), and per-operator
+history extraction (what the scaling-curve learner consumes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import MetricsError
+from repro.metrics import MetricsWindow, merge_windows
+
+
+class MetricsRepository:
+    """A bounded store of metric windows for one job."""
+
+    def __init__(self, retention: int = 256) -> None:
+        """``retention`` bounds how many windows are kept; older
+        windows are evicted (long-running jobs report forever)."""
+        if retention < 1:
+            raise MetricsError("retention must be >= 1")
+        self._windows: Deque[MetricsWindow] = deque(maxlen=retention)
+        self._total_reported = 0
+
+    def report(self, window: MetricsWindow) -> None:
+        """Append a newly collected window.
+
+        Windows must arrive in order (the reporting pipeline is a
+        single stream per job).
+        """
+        if self._windows and window.start < self._windows[-1].end - 1e-9:
+            raise MetricsError(
+                "windows must be reported in order: got start="
+                f"{window.start} after end={self._windows[-1].end}"
+            )
+        self._windows.append(window)
+        self._total_reported += 1
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    @property
+    def total_reported(self) -> int:
+        """Windows ever reported (including evicted ones)."""
+        return self._total_reported
+
+    def latest(self) -> Optional[MetricsWindow]:
+        """The most recent window, or None when empty."""
+        return self._windows[-1] if self._windows else None
+
+    def last(self, count: int) -> List[MetricsWindow]:
+        """The most recent ``count`` windows, oldest first."""
+        if count < 1:
+            raise MetricsError("count must be >= 1")
+        return list(self._windows)[-count:]
+
+    def merged_lookback(self, seconds: float) -> Optional[MetricsWindow]:
+        """All windows covering the trailing ``seconds`` of observed
+        time, merged into one (counters summed). None when empty.
+
+        Useful for evaluating the policy over a longer effective window
+        than the reporting interval — e.g. smoothing a window
+        operator's fire bursts without increasing reaction time.
+        """
+        if seconds <= 0:
+            raise MetricsError("seconds must be > 0")
+        if not self._windows:
+            return None
+        cutoff = self._windows[-1].end - seconds
+        chosen = [w for w in self._windows if w.end > cutoff + 1e-9]
+        if not chosen:
+            chosen = [self._windows[-1]]
+        return merge_windows(chosen)
+
+    def operator_history(
+        self, operator: str
+    ) -> List[Tuple[int, float]]:
+        """Per-window ``(parallelism, per_instance_true_rate)`` pairs
+        for one operator — the scaling-curve learner's input. Windows
+        where the operator was absent or unmeasured are skipped."""
+        history: List[Tuple[int, float]] = []
+        for window in self._windows:
+            if operator not in window.operators():
+                continue
+            aggregated = window.aggregated_true_processing_rate(operator)
+            if aggregated is None or aggregated <= 0:
+                continue
+            parallelism = window.parallelism_of(operator)
+            history.append((parallelism, aggregated / parallelism))
+        return history
+
+    def clear(self) -> None:
+        self._windows.clear()
+
+
+__all__ = ["MetricsRepository"]

@@ -1,0 +1,37 @@
+"""The simulated streaming engines (the substrate under DS2).
+
+The engine executes a physical dataflow plan in discrete virtual-time
+ticks under one of three execution models (Flink-like, Timely-like,
+Heron-like), produces the instrumentation counters DS2 consumes, and
+implements the savepoint-halt-redeploy rescaling mechanism.
+"""
+
+from repro.engine.buffers import Queue
+from repro.engine.latency import (
+    EpochLatencyTracker,
+    LatencyDistribution,
+    RecordLatencyTracker,
+)
+from repro.engine.metrics_manager import MetricsManager
+from repro.engine.runtimes import (
+    FlinkRuntime,
+    HeronRuntime,
+    Runtime,
+    TimelyRuntime,
+)
+from repro.engine.simulator import EngineConfig, Simulator, TickStats
+
+__all__ = [
+    "EngineConfig",
+    "EpochLatencyTracker",
+    "FlinkRuntime",
+    "HeronRuntime",
+    "LatencyDistribution",
+    "MetricsManager",
+    "Queue",
+    "RecordLatencyTracker",
+    "Runtime",
+    "Simulator",
+    "TickStats",
+    "TimelyRuntime",
+]

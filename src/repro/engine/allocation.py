@@ -1,0 +1,65 @@
+"""Fair allocation of a shared capacity among competing demands.
+
+Used in two places:
+
+* dividing a worker's time among the operator instances it runs
+  (Timely-style round-robin scheduling), and
+* dividing the free space of downstream queues among the parallel
+  instances of an upstream operator within one tick — without fairness,
+  whichever instance happens to be processed first grabs the space,
+  systematically starving the last instance and distorting the
+  backpressure limit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import EngineError
+
+
+def fair_allocate(total: float, desires: Sequence[float]) -> List[float]:
+    """Split ``total`` units among ``desires`` by water-filling.
+
+    Every demand receives at most an equal share of what remains; shares
+    unused by small demands are redistributed to larger ones. The result
+    sums to ``min(total, sum(desires))`` and never exceeds any
+    individual desire.
+
+    ``total`` may be ``math.inf`` (everyone gets their full desire).
+    """
+    if total < 0:
+        raise EngineError("total must be >= 0")
+    desires = [max(0.0, d) for d in desires]
+    if math.isinf(total) or total >= sum(desires):
+        return list(desires)
+    allocation = [0.0] * len(desires)
+    remaining = total
+    active = [i for i, d in enumerate(desires) if d > 0]
+    while active and remaining > 1e-12:
+        share = remaining / len(active)
+        next_active = []
+        progressed = False
+        for index in active:
+            want = desires[index] - allocation[index]
+            grant = min(share, want)
+            allocation[index] += grant
+            remaining -= grant
+            if grant < want - 1e-15:
+                next_active.append(index)
+            else:
+                progressed = True
+        if not progressed:
+            # Every active demand took a full share: the remainder is
+            # split evenly and we are done (avoids float residue loops).
+            share = remaining / len(active)
+            for index in active:
+                allocation[index] += share
+            remaining = 0.0
+            break
+        active = next_active
+    return allocation
+
+
+__all__ = ["fair_allocate"]

@@ -1,0 +1,129 @@
+"""Bounded and unbounded record queues.
+
+Queues are *fluid*: they hold fractional record counts, because the
+engine simulates flows rather than individual records. A bounded queue
+refusing records is what creates backpressure in the Flink- and
+Heron-style runtimes; the Timely-style runtime uses unbounded queues and
+therefore never pushes back (section 5.5 of the paper: "Timely does not
+have a backpressure mechanism ... queues grow when the system cannot
+keep up").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import EngineError
+
+
+class Queue:
+    """A fluid FIFO queue with optional capacity.
+
+    Tracks cumulative pushed/popped totals so that conservation
+    invariants can be checked: ``pushed - popped == length`` at all
+    times.
+    """
+
+    __slots__ = ("_capacity", "_length", "_pushed", "_popped")
+
+    def __init__(self, capacity: Optional[float] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise EngineError("queue capacity must be > 0 when bounded")
+        self._capacity = capacity
+        self._length = 0.0
+        self._pushed = 0.0
+        self._popped = 0.0
+
+    @property
+    def capacity(self) -> Optional[float]:
+        """Maximum records held, or None when unbounded."""
+        return self._capacity
+
+    @property
+    def bounded(self) -> bool:
+        return self._capacity is not None
+
+    @property
+    def length(self) -> float:
+        """Records currently queued."""
+        return self._length
+
+    @property
+    def total_pushed(self) -> float:
+        """Cumulative records ever pushed."""
+        return self._pushed
+
+    @property
+    def total_popped(self) -> float:
+        """Cumulative records ever popped."""
+        return self._popped
+
+    @property
+    def free_space(self) -> float:
+        """Records that can still be pushed (inf when unbounded)."""
+        if self._capacity is None:
+            return math.inf
+        return max(0.0, self._capacity - self._length)
+
+    @property
+    def fill_fraction(self) -> float:
+        """Occupancy in [0, 1]; always 0 for unbounded queues."""
+        if self._capacity is None:
+            return 0.0
+        return min(1.0, self._length / self._capacity)
+
+    def push(self, records: float) -> float:
+        """Push up to ``records``; returns the amount actually accepted
+        (less than requested only for bounded queues)."""
+        if records < 0:
+            raise EngineError("cannot push a negative record count")
+        accepted = min(records, self.free_space)
+        self._length += accepted
+        self._pushed += accepted
+        return accepted
+
+    def force_push(self, records: float) -> None:
+        """Push ignoring capacity (used when redistributing queue
+        contents during a redeploy — state is never dropped)."""
+        if records < 0:
+            raise EngineError("cannot push a negative record count")
+        self._length += records
+        self._pushed += records
+
+    def pop(self, records: float) -> float:
+        """Pop up to ``records``; returns the amount actually removed."""
+        if records < 0:
+            raise EngineError("cannot pop a negative record count")
+        removed = min(records, self._length)
+        self._length -= removed
+        self._popped += removed
+        # Guard against floating-point drift below zero.
+        if self._length < 0:
+            if self._length < -1e-6:
+                raise EngineError(
+                    f"queue length went negative: {self._length}"
+                )
+            self._length = 0.0
+        return removed
+
+    def drain(self) -> float:
+        """Remove and return everything queued."""
+        return self.pop(self._length)
+
+    def check_conservation(self, tolerance: float = 1e-6) -> None:
+        """Raise :class:`EngineError` if pushed - popped != length."""
+        drift = abs((self._pushed - self._popped) - self._length)
+        scale = max(1.0, self._pushed)
+        if drift > tolerance * scale:
+            raise EngineError(
+                f"queue conservation violated: pushed={self._pushed} "
+                f"popped={self._popped} length={self._length}"
+            )
+
+    def __repr__(self) -> str:
+        cap = "inf" if self._capacity is None else f"{self._capacity:g}"
+        return f"Queue(length={self._length:g}, capacity={cap})"
+
+
+__all__ = ["Queue"]

@@ -1,0 +1,901 @@
+"""The streaming-engine simulator.
+
+This is the substrate that stands in for Apache Flink / Timely / Heron:
+a discrete-time *fluid* simulation of a physical dataflow. Virtual time
+advances in small ticks; per tick, every operator instance receives a
+time budget from the runtime's execution model and converts queued
+records into output records at its per-record cost, limited by available
+input, by its budget, and — for bounded-buffer runtimes — by free space
+in downstream queues. That last limit is what creates backpressure, and
+it propagates all the way to the sources exactly as in a credit-based
+network stack.
+
+The simulator accounts *useful time* (records processed times per-record
+cost, covering deserialization + processing + serialization) and
+*waiting time* (the rest of the tick) per instance, which is precisely
+the instrumentation DS2 requires (paper section 4.1). Everything the
+controller can observe flows out through the
+:class:`~repro.engine.metrics_manager.MetricsManager`.
+
+Processing order within a tick is reverse topological: sinks first,
+sources last. Draining downstream queues first lets freed buffer space
+propagate upstream within the same tick (backpressure releases quickly),
+while emitted records land in queues that have already been processed
+and are consumed on the next tick (one tick of pipeline delay per hop).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.dataflow.graph import LogicalGraph
+from repro.dataflow.operators import OperatorSpec
+from repro.dataflow.physical import InstanceId, PhysicalPlan
+from repro.dataflow.state import StateModel
+from repro.dataflow.windowing import WindowState
+from repro.engine.allocation import fair_allocate
+from repro.engine.buffers import Queue
+from repro.engine.latency import (
+    EpochLatencyTracker,
+    RecordLatencyTracker,
+)
+from repro.engine.metrics_manager import MetricsManager
+from repro.engine.runtimes import Runtime
+from repro.errors import EngineError, ReconfigurationError
+from repro.metrics import MetricsWindow, OperatorHealth
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunable parameters of the simulation.
+
+    Attributes:
+        tick: Virtual seconds per simulation step.
+        instrumentation_enabled: Whether the DS2 instrumentation is
+            active; when on, every per-record cost is inflated by the
+            runtime's ``instrumentation_overhead`` (used by the Figure 10
+            overhead experiment).
+        source_catchup_factor: When backpressure lifts, a source may
+            drain its external backlog at up to this multiple of its
+            target rate (external systems like Kafka buffer the data a
+            blocked source could not emit). Values > 1 reproduce the
+            above-target spikes visible in the paper's Figure 1.
+        check_invariants: Verify queue-conservation invariants each tick
+            (cheap, on by default).
+        track_record_latency: Maintain the per-record latency
+            distribution (Figure 8).
+        epoch_seconds: When set, maintain per-epoch latency (Figure 9).
+        cost_jitter: Relative amplitude of per-tick cost noise. Real
+            per-record costs fluctuate (GC pauses, cache effects,
+            record-size variance — section 4.2.2's "noisy metrics");
+            with jitter ``j``, each operator's per-record cost is
+            multiplied by a fresh uniform factor in ``[1-j, 1+j]``
+            every tick. Deterministic given ``seed``.
+        seed: PRNG seed for the cost-noise stream.
+    """
+
+    tick: float = 0.1
+    instrumentation_enabled: bool = True
+    source_catchup_factor: float = 2.0
+    check_invariants: bool = True
+    track_record_latency: bool = True
+    epoch_seconds: Optional[float] = None
+    cost_jitter: float = 0.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tick <= 0:
+            raise EngineError("tick must be > 0")
+        if self.source_catchup_factor < 1.0:
+            raise EngineError("source_catchup_factor must be >= 1")
+        if self.epoch_seconds is not None and self.epoch_seconds <= 0:
+            raise EngineError("epoch_seconds must be > 0")
+        if not 0.0 <= self.cost_jitter < 1.0:
+            raise EngineError("cost_jitter must be in [0, 1)")
+
+
+@dataclass
+class _Instance:
+    """Mutable runtime state of one operator instance.
+
+    Input records arrive through per-port queues, one per upstream
+    operator — as with Flink's per-channel network buffers, a flooding
+    input fills its own buffers and backpressures its own producer
+    without crowding out the other inputs of a join. Sources have no
+    ports.
+    """
+
+    iid: InstanceId
+    spec: OperatorSpec
+    ports: Dict[str, Queue]
+    window: Optional[WindowState] = None
+    fire_backlog: float = 0.0
+
+    @property
+    def total_queue_length(self) -> float:
+        """Records queued across all input ports."""
+        return sum(queue.length for queue in self.ports.values())
+
+    @property
+    def max_fill_fraction(self) -> float:
+        """Worst port occupancy (0 for unbounded/portless)."""
+        if not self.ports:
+            return 0.0
+        return max(queue.fill_fraction for queue in self.ports.values())
+
+    @property
+    def pending_records(self) -> float:
+        extra = self.fire_backlog
+        if self.window is not None:
+            extra += self.window.buffered
+        return self.total_queue_length + extra
+
+    def pop_records(self, amount: float) -> float:
+        """Remove up to ``amount`` records, drawing from each port in
+        proportion to its backlog (the scheduler polls all inputs);
+        returns the amount actually removed."""
+        total = self.total_queue_length
+        if amount <= 0 or total <= 0:
+            return 0.0
+        if amount >= total:
+            return sum(queue.drain() for queue in self.ports.values())
+        popped = 0.0
+        for queue in self.ports.values():
+            share = amount * (queue.length / total)
+            popped += queue.pop(share)
+        return popped
+
+
+@dataclass(frozen=True)
+class TickStats:
+    """Per-tick observations surfaced to experiment harnesses."""
+
+    time: float
+    source_emitted: Mapping[str, float]
+    source_desired: Mapping[str, float]
+    sink_consumed: Mapping[str, float]
+    queue_lengths: Mapping[str, float]
+    backpressured: Tuple[str, ...]
+    in_outage: bool
+
+
+class Simulator:
+    """Simulates a physical dataflow under a runtime execution model."""
+
+    def __init__(
+        self,
+        plan: PhysicalPlan,
+        runtime: Runtime,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self._plan = plan
+        self._graph: LogicalGraph = plan.graph
+        self._runtime = runtime
+        self._config = config or EngineConfig()
+        self._time = 0.0
+        # Virtual time is derived from the tick count (time = n * dt)
+        # rather than accumulated, so phase boundaries and window fires
+        # land exactly where the schedule says — accumulated floating
+        # point drift would shift them by a tick over long runs.
+        self._tick_count = 0
+        self._metrics = MetricsManager()
+        self._state = StateModel(graph=self._graph)
+        self._instances: Dict[str, List[_Instance]] = {}
+        self._source_backlog: Dict[str, float] = {
+            name: 0.0 for name in self._graph.sources()
+        }
+        self._outage_until: float = 0.0
+        self._pending_plan: Optional[PhysicalPlan] = None
+        self._rescale_count = 0
+        # Window-accumulated source emissions for observed-rate reporting.
+        self._window_source_emitted: Dict[str, float] = {
+            name: 0.0 for name in self._graph.sources()
+        }
+        # Window-accumulated seconds each operator spent backpressured.
+        self._window_bp_seconds: Dict[str, float] = {
+            name: 0.0 for name in self._graph.names
+        }
+        self._window_started = 0.0
+        self._last_stats: Optional[TickStats] = None
+        self._rng = random.Random(self._config.seed)
+        # Per-operator cost-noise factors for the current tick.
+        self._jitter: Dict[str, float] = {
+            name: 1.0 for name in self._graph.names
+        }
+        self._record_latency: Optional[RecordLatencyTracker] = None
+        if self._config.track_record_latency:
+            self._record_latency = RecordLatencyTracker(
+                self._graph, pipeline_hop_delay=self._config.tick / 2.0
+            )
+        self._epoch_latency: Optional[EpochLatencyTracker] = None
+        if self._config.epoch_seconds is not None:
+            self._epoch_latency = EpochLatencyTracker(
+                self._graph, epoch_seconds=self._config.epoch_seconds
+            )
+        self._deploy(plan)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        """Current virtual time in seconds."""
+        return self._time
+
+    @property
+    def plan(self) -> PhysicalPlan:
+        """The physical plan currently deployed."""
+        return self._plan
+
+    @property
+    def runtime(self) -> Runtime:
+        return self._runtime
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def graph(self) -> LogicalGraph:
+        return self._graph
+
+    @property
+    def in_outage(self) -> bool:
+        """True while the job is down for reconfiguration."""
+        return self._time < self._outage_until
+
+    @property
+    def rescale_count(self) -> int:
+        """Number of reconfigurations applied so far."""
+        return self._rescale_count
+
+    @property
+    def last_stats(self) -> Optional[TickStats]:
+        """Observations from the most recent tick."""
+        return self._last_stats
+
+    @property
+    def record_latency(self) -> Optional[RecordLatencyTracker]:
+        return self._record_latency
+
+    @property
+    def epoch_latency(self) -> Optional[EpochLatencyTracker]:
+        return self._epoch_latency
+
+    @property
+    def state_model(self) -> StateModel:
+        return self._state
+
+    def source_target_rates(self) -> Dict[str, float]:
+        """Target (schedule) rate of each source at the current time —
+        the externally monitored source rates DS2 uses as λ_src."""
+        rates: Dict[str, float] = {}
+        for name in self._graph.sources():
+            schedule = self._graph.operator(name).rate
+            assert schedule is not None
+            rates[name] = schedule.rate_at(self._time)
+        return rates
+
+    def source_backlog(self, source: str) -> float:
+        """Records the external system buffered while the source was
+        blocked (or the job was down)."""
+        try:
+            return self._source_backlog[source]
+        except KeyError:
+            raise EngineError(f"unknown source {source!r}") from None
+
+    def total_queued_records(self) -> float:
+        """Records queued anywhere inside the dataflow."""
+        return sum(
+            inst.pending_records
+            for instances in self._instances.values()
+            for inst in instances
+        )
+
+    def queue_length(self, operator: str) -> float:
+        """Total records queued at an operator (all instances)."""
+        if operator not in self._instances:
+            raise EngineError(f"unknown operator {operator!r}")
+        return sum(i.pending_records for i in self._instances[operator])
+
+    def backpressured_operators(self) -> Tuple[str, ...]:
+        """Operators whose queues crossed the runtime's backpressure
+        threshold (the coarse signal Dhalion-style controllers use)."""
+        result: List[str] = []
+        threshold = self._runtime.backpressure_threshold
+        for name, instances in self._instances.items():
+            if any(
+                queue.bounded and queue.fill_fraction >= threshold
+                for inst in instances
+                for queue in inst.ports.values()
+            ):
+                result.append(name)
+        return tuple(result)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def collect_metrics(self) -> MetricsWindow:
+        """Collect the instrumentation window accumulated since the last
+        collection (what the MetricsManager reports to the repository)."""
+        duration = self._time - self._window_started
+        source_rates: Dict[str, float] = {}
+        for name, emitted in self._window_source_emitted.items():
+            source_rates[name] = emitted / duration if duration > 0 else 0.0
+        health: Dict[str, OperatorHealth] = {}
+        backpressured = set(self.backpressured_operators())
+        for name, instances in self._instances.items():
+            fills = [inst.max_fill_fraction for inst in instances]
+            bp_fraction = (
+                min(1.0, self._window_bp_seconds[name] / duration)
+                if duration > 0
+                else 0.0
+            )
+            health[name] = OperatorHealth(
+                queue_fill=max(fills) if fills else 0.0,
+                backpressure=name in backpressured,
+                pending_records=sum(i.pending_records for i in instances),
+                backpressure_fraction=bp_fraction,
+            )
+        window = self._metrics.collect(
+            health=health, source_observed_rates=source_rates
+        )
+        self._window_source_emitted = {
+            name: 0.0 for name in self._graph.sources()
+        }
+        self._window_bp_seconds = {
+            name: 0.0 for name in self._graph.names
+        }
+        self._window_started = self._time
+        return window
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+
+    def rescale(self, updates: Mapping[str, int]) -> float:
+        """Request a new parallelism for the given operators.
+
+        Returns the outage duration in seconds (0 if the request is a
+        no-op). The mechanism mirrors Flink's stop-with-savepoint: the
+        job halts for ``savepoint + redeploy`` seconds during which the
+        sources accumulate external backlog; queued records survive the
+        restart.
+        """
+        if self.in_outage:
+            raise ReconfigurationError(
+                "cannot rescale while a reconfiguration is in flight"
+            )
+        new_plan = self._plan.clamped(updates)
+        if new_plan.parallelism == self._plan.parallelism:
+            return 0.0
+        outage = self._runtime.savepoint_model().outage_seconds(
+            self._state.total_bytes
+        )
+        self._pending_plan = new_plan
+        self._outage_until = self._time + outage
+        self._rescale_count += 1
+        if outage == 0.0:
+            self._deploy(new_plan)
+            self._pending_plan = None
+        return outage
+
+    def _deploy(self, plan: PhysicalPlan) -> None:
+        """(Re)build instance state for ``plan``, preserving in-flight
+        records and window buffers from the previous deployment."""
+        carried_ports: Dict[str, Dict[str, float]] = {}
+        carried_window: Dict[str, Tuple[float, float]] = {}
+        for name, instances in self._instances.items():
+            per_port: Dict[str, float] = {}
+            for inst in instances:
+                for port, queue in inst.ports.items():
+                    per_port[port] = per_port.get(port, 0.0) + queue.length
+            carried_ports[name] = per_port
+            buffered = sum(
+                i.window.buffered for i in instances if i.window is not None
+            )
+            backlog = sum(i.fire_backlog for i in instances)
+            carried_window[name] = (buffered, backlog)
+        self._instances = {}
+        for name in self._graph.topological_order():
+            spec = self._graph.operator(name)
+            parallelism = plan.parallelism_of(name)
+            capacity = self._runtime.queue_capacity(spec, parallelism)
+            weights = plan.input_weights(name)
+            ports = self._graph.upstream(name)
+            queued_by_port = carried_ports.get(name, {})
+            buffered, backlog = carried_window.get(name, (0.0, 0.0))
+            instances: List[_Instance] = []
+            for index in range(parallelism):
+                instance = _Instance(
+                    iid=InstanceId(name, index),
+                    spec=spec,
+                    ports={
+                        port: Queue(capacity=capacity) for port in ports
+                    },
+                )
+                if spec.window is not None:
+                    instance.window = WindowState(spec=spec.window)
+                    instance.window.reset(self._time)
+                    instance.window.buffered = buffered * weights[index]
+                for port in ports:
+                    instance.ports[port].force_push(
+                        queued_by_port.get(port, 0.0) * weights[index]
+                    )
+                instance.fire_backlog = backlog * weights[index]
+                instances.append(instance)
+            self._instances[name] = instances
+        self._plan = plan
+        self._metrics.register_instances(plan.all_instances())
+
+    # ------------------------------------------------------------------
+    # Cost helpers
+    # ------------------------------------------------------------------
+
+    def _cost_multiplier(self) -> float:
+        if self._config.instrumentation_enabled:
+            return 1.0 + self._runtime.instrumentation_overhead
+        return 1.0
+
+    def _refresh_jitter(self) -> None:
+        """Draw this tick's per-operator cost-noise factors."""
+        amplitude = self._config.cost_jitter
+        if amplitude <= 0:
+            return
+        for name in self._jitter:
+            self._jitter[name] = 1.0 + self._rng.uniform(
+                -amplitude, amplitude
+            )
+
+    def _unit_cost(self, spec: OperatorSpec, parallelism: int) -> float:
+        """Per-record useful-time cost for regular (non-window)
+        processing, including coordination overhead, rate limits,
+        instrumentation overhead, and this tick's cost noise."""
+        cost = spec.costs.effective_cost(parallelism)
+        if spec.rate_limit is not None:
+            cost = max(cost, 1.0 / spec.rate_limit)
+        return cost * self._cost_multiplier() * self._jitter[spec.name]
+
+    def _window_costs(
+        self, spec: OperatorSpec, parallelism: int
+    ) -> Tuple[float, float]:
+        """(assign_cost_per_input_record, fire_cost_per_buffered_record)
+        for a window operator."""
+        window = spec.window
+        assert window is not None
+        coordination = 1.0 + spec.costs.coordination_alpha * (parallelism - 1)
+        multiplier = coordination * self._cost_multiplier()
+        multiplier *= self._jitter[spec.name]
+        assign = (
+            spec.costs.base_cost + window.replication * window.assign_cost
+        ) * multiplier
+        fire = window.fire_cost * multiplier
+        return assign, fire
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def step(self) -> TickStats:
+        """Advance virtual time by one tick."""
+        dt = self._config.tick
+        if self.in_outage:
+            stats = self._outage_tick(dt)
+        else:
+            stats = self._active_tick(dt)
+        self._last_stats = stats
+        return stats
+
+    def run_for(self, seconds: float) -> None:
+        """Advance virtual time by ``seconds``."""
+        if seconds < 0:
+            raise EngineError("seconds must be >= 0")
+        target = self._time + seconds
+        while self._time < target - 1e-9:
+            self.step()
+
+    def run_until(self, time: float) -> None:
+        """Advance virtual time up to ``time``."""
+        if time < self._time:
+            raise EngineError("cannot run backwards in time")
+        self.run_for(time - self._time)
+
+    def _outage_tick(self, dt: float) -> TickStats:
+        """One tick while the job is down for reconfiguration: nothing
+        processes; sources accumulate external backlog."""
+        desired: Dict[str, float] = {}
+        for name in self._graph.sources():
+            schedule = self._graph.operator(name).rate
+            assert schedule is not None
+            rate = schedule.rate_at(self._time)
+            desired[name] = rate * dt
+            self._source_backlog[name] += rate * dt
+        self._metrics.advance(dt, outage=True)
+        self._tick_count += 1
+        self._time = self._tick_count * dt
+        if self._time >= self._outage_until - 1e-9 and self._pending_plan:
+            self._deploy(self._pending_plan)
+            self._pending_plan = None
+        if self._epoch_latency is not None:
+            self._epoch_latency.observe_tick(
+                now=self._time, source_emitted={}, sink_consumed={}
+            )
+        return TickStats(
+            time=self._time,
+            source_emitted={name: 0.0 for name in desired},
+            source_desired=desired,
+            sink_consumed={name: 0.0 for name in self._graph.sinks()},
+            queue_lengths={
+                name: self.queue_length(name) for name in self._graph.names
+            },
+            backpressured=self.backpressured_operators(),
+            in_outage=True,
+        )
+
+    def _active_tick(self, dt: float) -> TickStats:
+        order = self._graph.topological_order()
+        self._refresh_jitter()
+        multiplier_demands = self._estimate_demands(dt)
+        budgets = self._runtime.budgets(self._plan, multiplier_demands, dt)
+        source_emitted: Dict[str, float] = {}
+        source_desired: Dict[str, float] = {}
+        sink_consumed: Dict[str, float] = {
+            name: 0.0 for name in self._graph.sinks()
+        }
+        end_time = self._time + dt
+        for name in reversed(order):
+            spec = self._graph.operator(name)
+            instances = self._instances[name]
+            if spec.is_source:
+                emitted, desired = self._run_source(
+                    name, spec, instances, budgets, dt
+                )
+                source_emitted[name] = emitted
+                source_desired[name] = desired
+                self._window_source_emitted[name] += emitted
+            else:
+                consumed = self._run_operator(
+                    name, spec, instances, budgets, dt, end_time
+                )
+                if spec.is_sink:
+                    sink_consumed[name] = consumed
+        self._observe_latency(dt, source_emitted, sink_consumed)
+        for name in self.backpressured_operators():
+            self._window_bp_seconds[name] += dt
+        self._metrics.advance(dt)
+        self._tick_count += 1
+        self._time = self._tick_count * dt
+        if self._config.check_invariants:
+            self._check_invariants()
+        return TickStats(
+            time=self._time,
+            source_emitted=source_emitted,
+            source_desired=source_desired,
+            sink_consumed=sink_consumed,
+            queue_lengths={
+                name: self.queue_length(name) for name in self._graph.names
+            },
+            backpressured=self.backpressured_operators(),
+            in_outage=False,
+        )
+
+    def _estimate_demands(self, dt: float) -> Dict[InstanceId, float]:
+        """Seconds of pending work per instance (for shared-worker
+        budget allocation)."""
+        demands: Dict[InstanceId, float] = {}
+        for name, instances in self._instances.items():
+            spec = self._graph.operator(name)
+            parallelism = len(instances)
+            if spec.is_source:
+                schedule = spec.rate
+                assert schedule is not None
+                rate = schedule.rate_at(self._time)
+                per_instance = (
+                    rate * dt + self._source_backlog[name]
+                ) / parallelism
+                cost = spec.costs.base_cost * self._cost_multiplier()
+                for inst in instances:
+                    demands[inst.iid] = per_instance * max(cost, 1e-9)
+                continue
+            if spec.window is not None:
+                assign_cost, fire_cost = self._window_costs(
+                    spec, parallelism
+                )
+                for inst in instances:
+                    demands[inst.iid] = (
+                        inst.total_queue_length * assign_cost
+                        + inst.fire_backlog * fire_cost
+                    )
+                continue
+            cost = self._unit_cost(spec, parallelism)
+            for inst in instances:
+                demands[inst.iid] = inst.total_queue_length * cost
+        return demands
+
+    def _downstream_limit(
+        self, name: str, weights_cache: Dict[str, Tuple[float, ...]]
+    ) -> float:
+        """Maximum records this operator may emit right now without
+        overflowing any downstream instance queue (inf if unbounded)."""
+        limit = math.inf
+        for downstream in self._graph.downstream(name):
+            weights = weights_cache.setdefault(
+                downstream, self._plan.input_weights(downstream)
+            )
+            for inst, weight in zip(self._instances[downstream], weights):
+                if weight <= 0:
+                    continue
+                limit = min(
+                    limit, inst.ports[name].free_space / weight
+                )
+        return limit
+
+    def _emit(
+        self,
+        name: str,
+        records: float,
+        weights_cache: Dict[str, Tuple[float, ...]],
+    ) -> None:
+        """Distribute ``records`` output records of operator ``name``
+        across all downstream instance queues."""
+        if records <= 0:
+            return
+        for downstream in self._graph.downstream(name):
+            weights = weights_cache.setdefault(
+                downstream, self._plan.input_weights(downstream)
+            )
+            for inst, weight in zip(self._instances[downstream], weights):
+                if weight <= 0:
+                    continue
+                accepted = inst.ports[name].push(records * weight)
+                if accepted < records * weight - 1e-6:
+                    raise EngineError(
+                        f"emission overflow into {inst.iid}: the "
+                        "downstream limit computation is inconsistent"
+                    )
+
+    def _run_source(
+        self,
+        name: str,
+        spec: OperatorSpec,
+        instances: List[_Instance],
+        budgets: Mapping[InstanceId, float],
+        dt: float,
+    ) -> Tuple[float, float]:
+        """Generate and emit source records; returns (emitted, desired)."""
+        schedule = spec.rate
+        assert schedule is not None
+        rate = schedule.rate_at(self._time)
+        desired = rate * dt
+        available = desired + self._source_backlog[name]
+        cap = desired * self._config.source_catchup_factor
+        want = min(available, max(cap, desired))
+        weights_cache: Dict[str, Tuple[float, ...]] = {}
+        if self._runtime.sources_blocked_by_backpressure:
+            space = self._downstream_limit(name, weights_cache)
+        else:
+            space = math.inf
+        cost = spec.costs.base_cost * self._cost_multiplier()
+        parallelism = len(instances)
+        # Each source instance generates an equal share of the stream;
+        # the shared downstream space is divided fairly among them.
+        desires = []
+        for inst in instances:
+            share = want / parallelism
+            budget = budgets.get(inst.iid, dt)
+            by_budget = math.inf if cost <= 0 else budget / cost
+            desires.append(min(share, by_budget))
+        allocations = fair_allocate(space, desires)
+        emitted_total = 0.0
+        for inst, emit in zip(instances, allocations):
+            self._emit(name, emit, weights_cache)
+            useful = min(emit * cost, dt)
+            self._metrics.record(
+                inst.iid,
+                pulled=emit,
+                pushed=emit,
+                useful=useful,
+                waiting=max(0.0, dt - useful),
+            )
+            emitted_total += emit
+        self._source_backlog[name] = max(
+            0.0, available - emitted_total
+        )
+        return emitted_total, desired
+
+    def _run_operator(
+        self,
+        name: str,
+        spec: OperatorSpec,
+        instances: List[_Instance],
+        budgets: Mapping[InstanceId, float],
+        dt: float,
+        end_time: float,
+    ) -> float:
+        """Run one non-source operator for a tick; returns records
+        consumed (meaningful for sinks)."""
+        parallelism = len(instances)
+        weights_cache: Dict[str, Tuple[float, ...]] = {}
+        is_window = spec.window is not None
+        # Shared downstream space for this operator's emissions this
+        # tick, in output records; divided fairly among the instances
+        # so that a squeezed instance does not distort the
+        # backpressure limit seen by upstream operators.
+        if spec.is_sink:
+            space = math.inf
+        else:
+            space = self._downstream_limit(name, weights_cache)
+        consumed_total = 0.0
+        if is_window:
+            assign_cost, fire_cost = self._window_costs(spec, parallelism)
+            fire_sel = spec.window.fire_selectivity
+            budgets_left = [budgets.get(i.iid, dt) for i in instances]
+            useful_acc = [0.0] * parallelism
+            pushed_acc = [0.0] * parallelism
+            pulled_acc = [0.0] * parallelism
+            # Fire work and assignment work share each instance's
+            # budget proportionally to their demands (the scheduler
+            # interleaves them); a fire-first priority would let a
+            # large fire backlog starve input reading entirely,
+            # collapsing throughput instead of degrading it.
+            fire_budget = [0.0] * parallelism
+            for index, inst in enumerate(instances):
+                fire_demand = inst.fire_backlog * fire_cost
+                assign_demand = inst.total_queue_length * assign_cost
+                total_demand = fire_demand + assign_demand
+                if total_demand <= 0:
+                    continue
+                share = min(1.0, fire_demand / total_demand)
+                fire_budget[index] = budgets_left[index] * share
+            # Stage 1: drain the fire backlogs (burst work), sharing the
+            # downstream space fairly.
+            fire_desires = []
+            for inst, budget in zip(instances, fire_budget):
+                by_budget = (
+                    math.inf if fire_cost <= 0 else budget / fire_cost
+                )
+                fire_desires.append(min(inst.fire_backlog, by_budget))
+            fire_cap = (
+                math.inf if fire_sel <= 0 else space / fire_sel
+            )
+            fired_alloc = fair_allocate(fire_cap, fire_desires)
+            for index, (inst, fired) in enumerate(
+                zip(instances, fired_alloc)
+            ):
+                if fired <= 0:
+                    continue
+                inst.fire_backlog -= fired
+                emit = fired * fire_sel
+                self._emit(name, emit, weights_cache)
+                useful_acc[index] += fired * fire_cost
+                pushed_acc[index] += emit
+                budgets_left[index] = max(
+                    0.0, budgets_left[index] - fired * fire_cost
+                )
+            # Stage 2: assign newly arrived records to windows (no
+            # emission, so no space constraint).
+            for index, inst in enumerate(instances):
+                by_budget = (
+                    math.inf
+                    if assign_cost <= 0
+                    else budgets_left[index] / assign_cost
+                )
+                assigned = inst.pop_records(
+                    min(inst.total_queue_length, by_budget)
+                )
+                assert inst.window is not None
+                inst.window.buffered += assigned * spec.window.replication
+                useful_acc[index] += assigned * assign_cost
+                pulled_acc[index] += assigned
+                # Stage 3: check window boundaries.
+                released, _fires = inst.window.maybe_fire(end_time)
+                inst.fire_backlog += released
+            for index, inst in enumerate(instances):
+                useful = min(useful_acc[index], dt)
+                self._metrics.record(
+                    inst.iid,
+                    pulled=pulled_acc[index],
+                    pushed=pushed_acc[index],
+                    useful=useful,
+                    waiting=max(0.0, dt - useful),
+                )
+                self._state.record_processed(name, pulled_acc[index])
+                consumed_total += pulled_acc[index]
+            return consumed_total
+        # Regular (non-window) operator.
+        unit_cost = self._unit_cost(spec, parallelism)
+        selectivity = spec.selectivity.ratio
+        desires = []
+        for inst in instances:
+            budget = budgets.get(inst.iid, dt)
+            by_budget = math.inf if unit_cost <= 0 else budget / unit_cost
+            desires.append(min(inst.total_queue_length, by_budget))
+        pull_cap = (
+            math.inf if selectivity <= 0 else space / selectivity
+        )
+        allocations = fair_allocate(pull_cap, desires)
+        for inst, allowed in zip(instances, allocations):
+            processed = inst.pop_records(allowed)
+            emit = processed * selectivity
+            pushed = 0.0
+            if not spec.is_sink and emit > 0:
+                self._emit(name, emit, weights_cache)
+                pushed = emit
+            useful = min(processed * unit_cost, dt)
+            self._metrics.record(
+                inst.iid,
+                pulled=processed,
+                pushed=pushed,
+                useful=useful,
+                waiting=max(0.0, dt - useful),
+            )
+            self._state.record_processed(name, processed)
+            consumed_total += processed
+        return consumed_total
+
+    # ------------------------------------------------------------------
+    # Latency & invariants
+    # ------------------------------------------------------------------
+
+    def _observe_latency(
+        self,
+        dt: float,
+        source_emitted: Mapping[str, float],
+        sink_consumed: Mapping[str, float],
+    ) -> None:
+        if self._record_latency is not None:
+            delays: Dict[str, float] = {}
+            for name, instances in self._instances.items():
+                spec = self._graph.operator(name)
+                parallelism = len(instances)
+                if spec.is_source:
+                    # Source delay: time to drain external backlog.
+                    schedule = spec.rate
+                    assert schedule is not None
+                    rate = schedule.rate_at(self._time)
+                    backlog = self._source_backlog[name]
+                    delays[name] = backlog / rate if rate > 0 else 0.0
+                    continue
+                if spec.window is not None:
+                    assign_cost, fire_cost = self._window_costs(
+                        spec, parallelism
+                    )
+                    per_instance = [
+                        inst.total_queue_length * assign_cost
+                        + inst.fire_backlog * fire_cost
+                        for inst in instances
+                    ]
+                else:
+                    cost = self._unit_cost(spec, parallelism)
+                    per_instance = [
+                        inst.total_queue_length * cost
+                        for inst in instances
+                    ]
+                delays[name] = max(per_instance) if per_instance else 0.0
+            self._record_latency.observe_tick(
+                operator_delays=delays, sink_consumed=sink_consumed
+            )
+        if self._epoch_latency is not None:
+            self._epoch_latency.observe_tick(
+                now=self._time + dt,
+                source_emitted=source_emitted,
+                sink_consumed=sink_consumed,
+            )
+
+    def _check_invariants(self) -> None:
+        for instances in self._instances.values():
+            for inst in instances:
+                for queue in inst.ports.values():
+                    queue.check_conservation()
+                if inst.fire_backlog < -1e-6:
+                    raise EngineError(
+                        f"negative fire backlog at {inst.iid}"
+                    )
+
+
+__all__ = ["EngineConfig", "Simulator", "TickStats"]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the DS2 reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class. Subclasses are organized by subsystem:
+graph construction, physical planning, engine execution, and controller
+policy evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid logical dataflow graphs (cycles, dangling edges,
+    missing sources/sinks, duplicate operator names)."""
+
+
+class PlanError(ReproError):
+    """Raised for invalid physical plans (non-positive parallelism,
+    parallelism above runtime limits, unknown operators)."""
+
+
+class EngineError(ReproError):
+    """Raised for invalid engine configurations or broken invariants
+    detected during simulation (e.g. negative queue length)."""
+
+
+class PolicyError(ReproError):
+    """Raised when a scaling policy cannot produce a decision
+    (e.g. malformed metrics, unknown operators in a metrics report)."""
+
+
+class MetricsError(ReproError):
+    """Raised for malformed or inconsistent instrumentation metrics
+    (e.g. useful time exceeding the observation window)."""
+
+
+class ReconfigurationError(ReproError):
+    """Raised when a rescaling action cannot be applied to a running job."""

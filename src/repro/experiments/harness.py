@@ -1,0 +1,188 @@
+"""Shared experiment machinery.
+
+:func:`run_controlled` wires a workload graph, a runtime, and a
+controller into a :class:`~repro.core.controller.ControlLoop`, runs it
+for a given duration, and captures the time series the paper's figures
+are drawn from: observed source rate over time, per-operator
+parallelism over time, scaling events, and latency distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.controller import Controller, ControlLoop, LoopResult
+from repro.dataflow.graph import LogicalGraph
+from repro.dataflow.physical import PhysicalPlan
+from repro.engine.latency import LatencyDistribution
+from repro.engine.runtimes import Runtime
+from repro.engine.simulator import EngineConfig, Simulator, TickStats
+from repro.errors import ReproError
+
+
+@dataclass
+class TimeSeries:
+    """A sampled (time, value) series."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ReproError("empty time series")
+        return sum(self.values) / len(self.values)
+
+    def last(self) -> float:
+        if not self.values:
+            raise ReproError("empty time series")
+        return self.values[-1]
+
+    def window_mean(self, start: float, end: float) -> float:
+        """Mean value over samples with start <= time < end."""
+        chosen = [
+            v for t, v in zip(self.times, self.values) if start <= t < end
+        ]
+        if not chosen:
+            raise ReproError(f"no samples in [{start}, {end})")
+        return sum(chosen) / len(chosen)
+
+
+@dataclass
+class ExperimentRun:
+    """Everything captured from one controlled run."""
+
+    loop_result: LoopResult
+    source_rate: Dict[str, TimeSeries]
+    parallelism: Dict[str, TimeSeries]
+    final_parallelism: Dict[str, int]
+    record_latency: Optional[LatencyDistribution]
+    epoch_latency: Optional[LatencyDistribution]
+    simulator: Simulator
+
+    @property
+    def scaling_steps(self) -> int:
+        return self.loop_result.scaling_steps
+
+    def main_parallelism_steps(self, operator: str) -> List[int]:
+        """The sequence of parallelism values applied to ``operator``
+        (one entry per scaling event that changed it)."""
+        steps: List[int] = []
+        for event in self.loop_result.events:
+            value = event.applied.get(operator)
+            if value is not None and (not steps or steps[-1] != value):
+                steps.append(value)
+        return steps
+
+    def converged_parallelism(self, operator: str) -> int:
+        return self.final_parallelism[operator]
+
+    def achieved_source_rate(
+        self, source: str, tail_seconds: float = 60.0
+    ) -> float:
+        """Mean observed rate of ``source`` over the run's last
+        ``tail_seconds`` (the post-convergence steady state)."""
+        series = self.source_rate[source]
+        if not series.times:
+            raise ReproError("no source-rate samples captured")
+        end = series.times[-1]
+        return series.window_mean(max(0.0, end - tail_seconds), end + 1e-9)
+
+
+def run_controlled(
+    graph: LogicalGraph,
+    runtime: Runtime,
+    initial_parallelism: Mapping[str, int],
+    controller: Controller,
+    policy_interval: float,
+    duration: float,
+    engine_config: Optional[EngineConfig] = None,
+    plan: Optional[PhysicalPlan] = None,
+    max_parallelism: Optional[int] = None,
+    scalable_operators: Optional[Tuple[str, ...]] = None,
+    sample_every: int = 4,
+) -> ExperimentRun:
+    """Run ``controller`` against ``graph`` on ``runtime``.
+
+    Args:
+        graph: The workload's logical dataflow.
+        runtime: Execution model (Flink-, Timely-, or Heron-style).
+        initial_parallelism: Starting parallelism per operator
+            (ignored when an explicit ``plan`` is given).
+        controller: The scaling controller under test.
+        policy_interval: Seconds between policy invocations.
+        duration: Virtual seconds to run.
+        engine_config: Engine parameters (tick size etc.).
+        plan: Optional pre-built physical plan (e.g. with a skewed
+            partitioner).
+        max_parallelism: Slot limit for the plan built from
+            ``initial_parallelism``.
+        scalable_operators: Operators the loop may rescale (defaults to
+            the graph's data-parallel non-source/sink operators).
+        sample_every: Capture one time-series sample every N ticks.
+    """
+    if plan is None:
+        plan = PhysicalPlan(
+            graph=graph,
+            parallelism=dict(initial_parallelism),
+            max_parallelism=max_parallelism,
+        )
+    config = engine_config or EngineConfig()
+    simulator = Simulator(plan=plan, runtime=runtime, config=config)
+
+    source_rate: Dict[str, TimeSeries] = {
+        name: TimeSeries() for name in graph.sources()
+    }
+    parallelism: Dict[str, TimeSeries] = {
+        name: TimeSeries() for name in graph.names
+    }
+    tick_counter = [0]
+
+    def observer(stats: TickStats) -> None:
+        tick_counter[0] += 1
+        if tick_counter[0] % sample_every:
+            return
+        for name, emitted in stats.source_emitted.items():
+            source_rate[name].append(stats.time, emitted / config.tick)
+        current = simulator.plan.parallelism
+        for name, value in current.items():
+            parallelism[name].append(stats.time, float(value))
+
+    loop = ControlLoop(
+        simulator=simulator,
+        controller=controller,
+        policy_interval=policy_interval,
+        scalable_operators=scalable_operators,
+        tick_observer=observer,
+    )
+    result = loop.run(duration)
+    return ExperimentRun(
+        loop_result=result,
+        source_rate=source_rate,
+        parallelism=parallelism,
+        final_parallelism=simulator.plan.parallelism,
+        record_latency=(
+            simulator.record_latency.distribution
+            if simulator.record_latency is not None
+            else None
+        ),
+        epoch_latency=(
+            simulator.epoch_latency.distribution
+            if simulator.epoch_latency is not None
+            else None
+        ),
+        simulator=simulator,
+    )
+
+
+__all__ = ["ExperimentRun", "TimeSeries", "run_controlled"]

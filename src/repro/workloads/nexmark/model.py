@@ -1,0 +1,125 @@
+"""The Nexmark auction-site event model.
+
+Three event types flow through an online-auction site: people register
+(:class:`Person`), people open auctions (:class:`Auction`), and people
+bid on auctions (:class:`Bid`). Field names follow the Apache Beam
+Nexmark implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ReproError
+
+#: US states used by Q3's person filter (Beam filters on OR, ID, CA).
+STATES = ("OR", "ID", "CA", "WA", "NY", "TX", "FL", "AZ", "MA", "GA")
+Q3_STATES = frozenset({"OR", "ID", "CA"})
+
+#: Auction categories; Q3 filters auctions with category 10.
+CATEGORIES = tuple(range(10, 20))
+Q3_CATEGORY = 10
+
+#: Currency conversion rate applied by Q1 (dollars to euros, as in the
+#: original NEXMark specification: bid price * 0.908).
+USD_TO_EUR = 0.908
+
+
+@dataclass(frozen=True)
+class Person:
+    """A new person registering with the auction site."""
+
+    id: int
+    name: str
+    email: str
+    city: str
+    state: str
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ReproError("person id must be >= 0")
+        if self.timestamp < 0:
+            raise ReproError("timestamp must be >= 0")
+
+
+@dataclass(frozen=True)
+class Auction:
+    """A new auction opened by a seller."""
+
+    id: int
+    seller: int
+    category: int
+    initial_bid: float
+    reserve: float
+    expires: float
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ReproError("auction id must be >= 0")
+        if self.seller < 0:
+            raise ReproError("seller id must be >= 0")
+        if self.initial_bid < 0 or self.reserve < 0:
+            raise ReproError("prices must be >= 0")
+        if self.expires < self.timestamp:
+            raise ReproError("auction expires before it starts")
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A bid on an open auction."""
+
+    auction: int
+    bidder: int
+    price: float
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if self.auction < 0:
+            raise ReproError("auction id must be >= 0")
+        if self.bidder < 0:
+            raise ReproError("bidder id must be >= 0")
+        if self.price < 0:
+            raise ReproError("price must be >= 0")
+        if self.timestamp < 0:
+            raise ReproError("timestamp must be >= 0")
+
+
+Event = Union[Person, Auction, Bid]
+
+
+class EventKind(enum.Enum):
+    """Discriminator for generated events."""
+
+    PERSON = "person"
+    AUCTION = "auction"
+    BID = "bid"
+
+
+def kind_of(event: Event) -> EventKind:
+    """The :class:`EventKind` of a concrete event."""
+    if isinstance(event, Person):
+        return EventKind.PERSON
+    if isinstance(event, Auction):
+        return EventKind.AUCTION
+    if isinstance(event, Bid):
+        return EventKind.BID
+    raise ReproError(f"not a Nexmark event: {event!r}")
+
+
+__all__ = [
+    "Auction",
+    "Bid",
+    "CATEGORIES",
+    "Event",
+    "EventKind",
+    "Person",
+    "Q3_CATEGORY",
+    "Q3_STATES",
+    "STATES",
+    "USD_TO_EUR",
+    "kind_of",
+]

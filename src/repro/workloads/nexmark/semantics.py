@@ -1,0 +1,205 @@
+"""Reference implementations of the six Nexmark queries.
+
+These are straightforward, record-at-a-time Python implementations of
+the query semantics, used to (a) demonstrate what each simulated
+dataflow computes and (b) validate the selectivity figures the
+simulated cost models assume. They operate on finite event lists; the
+simulated dataflows of :mod:`repro.workloads.nexmark.queries` model the
+same computations as continuous streams.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.workloads.nexmark.model import (
+    Auction,
+    Bid,
+    Person,
+    Q3_CATEGORY,
+    Q3_STATES,
+    USD_TO_EUR,
+)
+
+
+@dataclass(frozen=True)
+class ConvertedBid:
+    """Q1 output: a bid with its price converted to euros."""
+
+    auction: int
+    bidder: int
+    price_eur: float
+    timestamp: float
+
+
+def q1_currency_conversion(bids: Iterable[Bid]) -> List[ConvertedBid]:
+    """Q1: convert every bid's price from dollars to euros (a pure map,
+    selectivity exactly 1)."""
+    return [
+        ConvertedBid(
+            auction=b.auction,
+            bidder=b.bidder,
+            price_eur=round(b.price * USD_TO_EUR, 4),
+            timestamp=b.timestamp,
+        )
+        for b in bids
+    ]
+
+
+def q2_selection(
+    bids: Iterable[Bid], auction_modulo: int = 123
+) -> List[Bid]:
+    """Q2: select bids on a fixed subset of auctions (Beam uses
+    ``auction % 123 == 0``; selectivity ~1/123)."""
+    return [b for b in bids if b.auction % auction_modulo == 0]
+
+
+@dataclass(frozen=True)
+class SellerListing:
+    """Q3 output: a local seller's auction listing."""
+
+    name: str
+    city: str
+    state: str
+    auction_id: int
+
+
+def q3_local_item_suggestion(
+    persons: Sequence[Person], auctions: Sequence[Auction]
+) -> List[SellerListing]:
+    """Q3: incremental join of new persons in {OR, ID, CA} with their
+    category-10 auctions.
+
+    The streaming implementation keeps both sides in state and emits a
+    result whenever either side finds a match; this batch reference
+    simply joins the two lists.
+    """
+    local_sellers: Dict[int, Person] = {
+        p.id: p for p in persons if p.state in Q3_STATES
+    }
+    results: List[SellerListing] = []
+    for auction in auctions:
+        if auction.category != Q3_CATEGORY:
+            continue
+        person = local_sellers.get(auction.seller)
+        if person is None:
+            continue
+        results.append(
+            SellerListing(
+                name=person.name,
+                city=person.city,
+                state=person.state,
+                auction_id=auction.id,
+            )
+        )
+    return results
+
+
+def q5_hot_items(
+    bids: Sequence[Bid], window: float = 10.0, slide: float = 2.0
+) -> List[Tuple[float, List[int]]]:
+    """Q5: the auction(s) with the most bids in each sliding window.
+
+    Returns ``(window_end, hottest_auction_ids)`` per window. Ties are
+    all reported, as in the original NEXMark specification.
+    """
+    if not bids:
+        return []
+    end = max(b.timestamp for b in bids)
+    results: List[Tuple[float, List[int]]] = []
+    window_end = slide
+    while window_end <= end + slide:
+        window_start = window_end - window
+        counts: Dict[int, int] = defaultdict(int)
+        for bid in bids:
+            if window_start <= bid.timestamp < window_end:
+                counts[bid.auction] += 1
+        if counts:
+            best = max(counts.values())
+            hottest = sorted(a for a, c in counts.items() if c == best)
+            results.append((window_end, hottest))
+        window_end += slide
+    return results
+
+
+def q8_monitor_new_users(
+    persons: Sequence[Person],
+    auctions: Sequence[Auction],
+    window: float = 10.0,
+) -> List[Tuple[float, List[int]]]:
+    """Q8: persons who registered and opened an auction within the same
+    tumbling window. Returns ``(window_end, person_ids)`` per window."""
+    horizon = 0.0
+    for p in persons:
+        horizon = max(horizon, p.timestamp)
+    for a in auctions:
+        horizon = max(horizon, a.timestamp)
+    results: List[Tuple[float, List[int]]] = []
+    window_end = window
+    while window_end <= horizon + window:
+        window_start = window_end - window
+        new_people = {
+            p.id
+            for p in persons
+            if window_start <= p.timestamp < window_end
+        }
+        new_sellers = {
+            a.seller
+            for a in auctions
+            if window_start <= a.timestamp < window_end
+        }
+        matched = sorted(new_people & new_sellers)
+        if matched:
+            results.append((window_end, matched))
+        window_end += window
+    return results
+
+
+def q11_user_sessions(
+    bids: Sequence[Bid], gap: float = 2.0
+) -> Dict[int, List[Tuple[float, float, int]]]:
+    """Q11: per-user bid sessions (a session closes after ``gap``
+    seconds of inactivity). Returns, per bidder, a list of
+    ``(session_start, session_end, bids_in_session)``."""
+    per_user: Dict[int, List[float]] = defaultdict(list)
+    for bid in bids:
+        per_user[bid.bidder].append(bid.timestamp)
+    sessions: Dict[int, List[Tuple[float, float, int]]] = {}
+    for bidder, stamps in per_user.items():
+        stamps.sort()
+        user_sessions: List[Tuple[float, float, int]] = []
+        start = stamps[0]
+        last = stamps[0]
+        count = 1
+        for ts in stamps[1:]:
+            if ts - last > gap:
+                user_sessions.append((start, last, count))
+                start = ts
+                count = 0
+            last = ts
+            count += 1
+        user_sessions.append((start, last, count))
+        sessions[bidder] = user_sessions
+    return sessions
+
+
+def measured_selectivity(inputs: int, outputs: int) -> float:
+    """Output records per input record (guarded division)."""
+    if inputs <= 0:
+        return 0.0
+    return outputs / inputs
+
+
+__all__ = [
+    "ConvertedBid",
+    "SellerListing",
+    "measured_selectivity",
+    "q1_currency_conversion",
+    "q2_selection",
+    "q3_local_item_suggestion",
+    "q5_hot_items",
+    "q8_monitor_new_users",
+    "q11_user_sessions",
+]

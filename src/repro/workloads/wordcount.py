@@ -1,0 +1,170 @@
+"""The wordcount dataflow from the Dhalion benchmark.
+
+Three stages — Source, FlatMap (sentence splitter), Count — plus a sink.
+Two configurations from the paper:
+
+* **Heron variant** (section 5.2): the source produces 1M sentences per
+  minute; each FlatMap instance is rate-limited to split at most 100K
+  sentences per minute and each Count instance to count at most 1M
+  words per minute (the Dhalion paper's ratios). With 20 words per
+  sentence the minimum backpressure-free configuration is 10 FlatMap
+  and 20 Count instances — exactly what DS2 finds in one step.
+
+* **Flink variant** (section 5.3): the source rate is 2M sentences/s
+  for ten minutes, then 1M/s for another ten. Costs are calibrated so
+  the optimal configurations match the scale the paper reports
+  (about 19 FlatMap / 11 Count at 2M/s), with a small coordination
+  overhead that makes scaling sub-linear and hence requires DS2's
+  second refinement step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    flatmap,
+    map_operator,
+    sink,
+    source,
+)
+
+#: Words produced per sentence by the splitter. Combined with the
+#: Heron rate limits below this yields the paper's 10/20 optimum.
+WORDS_PER_SENTENCE = 20.0
+
+#: Heron variant rate limits (records per second per instance).
+HERON_SOURCE_RATE = 1_000_000 / 60.0          # 1M sentences/minute
+HERON_FLATMAP_LIMIT = 100_000 / 60.0          # 100K sentences/minute
+HERON_COUNT_LIMIT = 1_000_000 / 60.0          # 1M words/minute
+
+#: Operator names, used throughout the experiments.
+SOURCE = "source"
+FLATMAP = "flatmap"
+COUNT = "count"
+SINK = "sink"
+
+
+def wordcount_graph(
+    rate: RateSchedule,
+    flatmap_cost: CostModel,
+    count_cost: CostModel,
+    flatmap_rate_limit: Optional[float] = None,
+    count_rate_limit: Optional[float] = None,
+    words_per_sentence: float = WORDS_PER_SENTENCE,
+    count_state_bytes: float = 8.0,
+) -> LogicalGraph:
+    """Build a wordcount logical graph with explicit cost models."""
+    operators = [
+        source(SOURCE, rate=rate, record_bytes=200.0),
+        # FlatMap's input queue holds whole sentences (~200 B each);
+        # Count's input queue holds single words (~30 B each). With
+        # Heron's 100 MiB operator queues these sizes set how long the
+        # queues take to fill — and therefore how quickly a
+        # backpressure-driven controller like Dhalion can react.
+        flatmap(
+            FLATMAP,
+            costs=flatmap_cost,
+            selectivity=words_per_sentence,
+            rate_limit=flatmap_rate_limit,
+            record_bytes=200.0,
+        ),
+        map_operator(
+            COUNT,
+            costs=count_cost,
+            rate_limit=count_rate_limit,
+            state_bytes_per_record=count_state_bytes,
+            record_bytes=30.0,
+        ),
+        sink(SINK),
+    ]
+    edges = [
+        Edge(SOURCE, FLATMAP),
+        Edge(FLATMAP, COUNT),
+        Edge(COUNT, SINK),
+    ]
+    return LogicalGraph(operators=operators, edges=edges)
+
+
+def heron_wordcount_graph() -> LogicalGraph:
+    """The section 5.2 Heron benchmark: rate-limited operators.
+
+    The rate limits dominate the CPU costs, exactly as in the Dhalion
+    benchmark where the operators are artificially throttled.
+    """
+    return wordcount_graph(
+        rate=RateSchedule.constant(HERON_SOURCE_RATE),
+        flatmap_cost=CostModel(processing_cost=1e-5),
+        count_cost=CostModel(processing_cost=1e-6),
+        flatmap_rate_limit=HERON_FLATMAP_LIMIT,
+        count_rate_limit=HERON_COUNT_LIMIT,
+    )
+
+
+def heron_wordcount_optimum() -> Dict[str, int]:
+    """The minimum backpressure-free configuration for the Heron
+    benchmark: 10 FlatMap, 20 Count (paper section 5.2)."""
+    return {FLATMAP: 10, COUNT: 20}
+
+
+#: Flink variant calibration. Costs chosen so that at the 2M/s phase-one
+#: rate the optimum lands near 19 FlatMap / 11 Count instances (the
+#: configurations of Figure 7), with a coordination overhead that makes
+#: per-instance rates degrade slightly as parallelism grows.
+FLINK_PHASE1_RATE = 2_000_000.0
+FLINK_PHASE2_RATE = 1_000_000.0
+FLINK_FLATMAP_COST = CostModel(
+    processing_cost=6.0e-6,
+    deserialization_cost=5.0e-7,
+    serialization_cost=5.0e-7,
+    coordination_alpha=0.02,
+)
+FLINK_COUNT_COST = CostModel(
+    processing_cost=2.0e-7,
+    deserialization_cost=2.0e-8,
+    serialization_cost=2.0e-8,
+    coordination_alpha=0.02,
+)
+
+
+def flink_wordcount_graph(
+    phase_seconds: float = 600.0,
+    phase1_rate: float = FLINK_PHASE1_RATE,
+    phase2_rate: float = FLINK_PHASE2_RATE,
+) -> LogicalGraph:
+    """The section 5.3 dynamic-workload wordcount: two rate phases."""
+    schedule = RateSchedule.phases(
+        [(0.0, phase1_rate), (phase_seconds, phase2_rate)]
+    )
+    return wordcount_graph(
+        rate=schedule,
+        flatmap_cost=FLINK_FLATMAP_COST,
+        count_cost=FLINK_COUNT_COST,
+    )
+
+
+def flink_wordcount_initial_parallelism() -> Dict[str, int]:
+    """Figure 7's starting configuration: 10 FlatMap, 5 Count."""
+    return {SOURCE: 1, FLATMAP: 10, COUNT: 5, SINK: 1}
+
+
+__all__ = [
+    "COUNT",
+    "FLATMAP",
+    "FLINK_PHASE1_RATE",
+    "FLINK_PHASE2_RATE",
+    "HERON_COUNT_LIMIT",
+    "HERON_FLATMAP_LIMIT",
+    "HERON_SOURCE_RATE",
+    "SINK",
+    "SOURCE",
+    "WORDS_PER_SENTENCE",
+    "flink_wordcount_graph",
+    "flink_wordcount_initial_parallelism",
+    "heron_wordcount_graph",
+    "heron_wordcount_optimum",
+    "wordcount_graph",
+]

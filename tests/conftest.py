@@ -1,0 +1,87 @@
+"""Shared fixtures: small graphs, plans, and metric windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    filter_operator,
+    join,
+    map_operator,
+    sink,
+    source,
+)
+from repro.dataflow.physical import InstanceId, PhysicalPlan
+from repro.metrics import InstanceCounters, MetricsWindow
+
+
+@pytest.fixture
+def chain_graph() -> LogicalGraph:
+    """source -> worker -> sink with simple costs."""
+    return LogicalGraph(
+        operators=[
+            source("src", rate=RateSchedule.constant(1000.0)),
+            map_operator("worker", costs=CostModel(processing_cost=1e-3)),
+            sink("snk"),
+        ],
+        edges=[Edge("src", "worker"), Edge("worker", "snk")],
+    )
+
+
+@pytest.fixture
+def diamond_graph() -> LogicalGraph:
+    """source fanning out to two branches joined before the sink."""
+    return LogicalGraph(
+        operators=[
+            source("src", rate=RateSchedule.constant(1000.0)),
+            map_operator("left", costs=CostModel(processing_cost=1e-3)),
+            filter_operator(
+                "right",
+                costs=CostModel(processing_cost=5e-4),
+                pass_ratio=0.5,
+            ),
+            join("merge", costs=CostModel(processing_cost=1e-3),
+                 selectivity=1.0),
+            sink("snk"),
+        ],
+        edges=[
+            Edge("src", "left"),
+            Edge("src", "right"),
+            Edge("left", "merge"),
+            Edge("right", "merge"),
+            Edge("merge", "snk"),
+        ],
+    )
+
+
+@pytest.fixture
+def chain_plan(chain_graph: LogicalGraph) -> PhysicalPlan:
+    return PhysicalPlan(
+        chain_graph, {"src": 1, "worker": 2, "snk": 1}
+    )
+
+
+def make_window(
+    counters: dict,
+    start: float = 0.0,
+    end: float = 10.0,
+    **kwargs,
+) -> MetricsWindow:
+    """Build a MetricsWindow from {(op, idx): (pulled, pushed, useful)}
+    with waiting filled in as the window remainder."""
+    duration = end - start
+    instances = {}
+    for (op, idx), (pulled, pushed, useful) in counters.items():
+        instances[InstanceId(op, idx)] = InstanceCounters(
+            records_pulled=pulled,
+            records_pushed=pushed,
+            useful_time=useful,
+            waiting_time=duration - useful,
+            observed_time=duration,
+        )
+    return MetricsWindow(
+        start=start, end=end, instances=instances, **kwargs
+    )

@@ -1,0 +1,126 @@
+"""Unit tests for the non-linear scaling-curve learner (§3.4 ext.)."""
+
+import pytest
+
+from repro.core.learning import (
+    LearningDS2Controller,
+    ScalingCurve,
+    ScalingCurveLearner,
+)
+from repro.core.manager import DS2Controller, ManagerConfig
+from repro.core.policy import DS2Policy
+from repro.errors import PolicyError
+
+
+class TestScalingCurve:
+    def test_rate_at(self):
+        curve = ScalingCurve(base_rate=1000.0, alpha=0.1,
+                             observations=4)
+        assert curve.rate_at(1) == pytest.approx(1000.0)
+        assert curve.rate_at(11) == pytest.approx(500.0)
+
+    def test_parallelism_for_inverts_the_law(self):
+        curve = ScalingCurve(base_rate=1000.0, alpha=0.05,
+                             observations=4)
+        for target in (500.0, 3000.0, 9000.0):
+            p = curve.parallelism_for(target)
+            assert p * curve.rate_at(p) >= target * (1 - 1e-9)
+            if p > 1:
+                assert (p - 1) * curve.rate_at(p - 1) < target
+
+    def test_unreachable_target(self):
+        # Aggregate throughput saturates at r1/alpha = 10_000.
+        curve = ScalingCurve(base_rate=1000.0, alpha=0.1,
+                             observations=4)
+        assert curve.parallelism_for(20_000.0) is None
+
+    def test_linear_special_case(self):
+        curve = ScalingCurve(base_rate=100.0, alpha=0.0,
+                             observations=2)
+        assert curve.parallelism_for(1000.0) == 10
+
+    def test_validation(self):
+        curve = ScalingCurve(base_rate=1.0, alpha=0.0, observations=1)
+        with pytest.raises(PolicyError):
+            curve.rate_at(0)
+
+
+class TestScalingCurveLearner:
+    def test_needs_two_distinct_levels(self):
+        learner = ScalingCurveLearner()
+        learner.observe("op", 4, 500.0)
+        learner.observe("op", 4, 510.0)
+        assert learner.curve_for("op") is None
+        learner.observe("op", 8, 400.0)
+        assert learner.curve_for("op") is not None
+
+    def test_recovers_synthetic_law(self):
+        r1, alpha = 2000.0, 0.03
+        learner = ScalingCurveLearner()
+        for p in (2, 5, 9, 14, 20):
+            learner.observe("op", p, r1 / (1 + alpha * (p - 1)))
+        curve = learner.curve_for("op")
+        assert curve.base_rate == pytest.approx(r1, rel=0.01)
+        assert curve.alpha == pytest.approx(alpha, rel=0.05)
+
+    def test_averages_noisy_repeats(self):
+        learner = ScalingCurveLearner()
+        for rate in (990.0, 1010.0):
+            learner.observe("op", 1, rate)
+        for rate in (495.0, 505.0):
+            learner.observe("op", 11, rate)
+        curve = learner.curve_for("op")
+        assert curve.base_rate == pytest.approx(1000.0, rel=0.02)
+        assert curve.alpha == pytest.approx(0.1, rel=0.05)
+        assert curve.observations == 4
+
+    def test_ignores_nonpositive_rates(self):
+        learner = ScalingCurveLearner()
+        learner.observe("op", 1, 0.0)
+        assert learner.observations("op") == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PolicyError):
+            ScalingCurveLearner(min_distinct_levels=1)
+        with pytest.raises(PolicyError):
+            ScalingCurveLearner().observe("op", 0, 1.0)
+
+
+class TestLearningController:
+    def test_reduces_steps_on_sublinear_workload(self):
+        """End-to-end: on Q11 (the widest climb, 8 -> 28), learning
+        the scaling curve saves at least one refinement step."""
+        from repro.core.controller import ControlLoop
+        from repro.dataflow.physical import PhysicalPlan
+        from repro.engine.runtimes import FlinkRuntime
+        from repro.engine.simulator import EngineConfig, Simulator
+        from repro.workloads.nexmark import get_query
+
+        def run(controller_class):
+            query = get_query("Q11")
+            graph = query.flink_graph()
+            plan = PhysicalPlan(
+                graph,
+                query.initial_parallelism(graph, 8),
+                max_parallelism=36,
+            )
+            sim = Simulator(
+                plan, FlinkRuntime(),
+                EngineConfig(tick=0.25, track_record_latency=False),
+            )
+            controller = controller_class(
+                DS2Policy(graph),
+                ManagerConfig(
+                    warmup_intervals=1, activation_intervals=5
+                ),
+            )
+            loop = ControlLoop(sim, controller, policy_interval=30.0)
+            result = loop.run(1500.0)
+            final = sim.plan.parallelism_of(query.main_operator)
+            return result.scaling_steps, final
+
+        baseline_steps, baseline_final = run(DS2Controller)
+        learning_steps, learning_final = run(LearningDS2Controller)
+        assert baseline_final == 28
+        assert learning_final == 28
+        assert learning_steps < baseline_steps

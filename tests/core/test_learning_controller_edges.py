@@ -1,0 +1,95 @@
+"""Edge cases of the learning controller's correction step."""
+
+import pytest
+
+from repro.core.controller import Observation
+from repro.core.learning import (
+    LearningDS2Controller,
+    ScalingCurve,
+    ScalingCurveLearner,
+)
+from repro.core.manager import ManagerConfig
+from repro.core.policy import DS2Policy
+from tests.conftest import make_window
+
+
+def observation(chain_graph, worker_rate=500.0, parallelism=1):
+    counters = {
+        ("worker", index): (worker_rate, worker_rate, 1.0)
+        for index in range(parallelism)
+    }
+    counters[("snk", 0)] = (1e6, 0.0, 1.0)
+    window = make_window(
+        counters, source_observed_rates={"src": 1000.0}
+    )
+    return Observation(
+        time=10.0,
+        window=window,
+        source_target_rates={"src": 1000.0},
+        current_parallelism={
+            "src": 1, "worker": parallelism, "snk": 1
+        },
+        backpressured=(),
+        in_outage=False,
+        graph=chain_graph,
+    )
+
+
+class TestLearningControllerEdges:
+    def make(self, chain_graph, **config):
+        return LearningDS2Controller(
+            DS2Policy(chain_graph), ManagerConfig(**config)
+        )
+
+    def test_behaves_like_vanilla_before_enough_levels(
+        self, chain_graph
+    ):
+        ctrl = self.make(chain_graph)
+        decision = ctrl.on_metrics(observation(chain_graph))
+        # One observed level only: the linear model's answer stands.
+        assert decision == {"worker": 2}
+
+    def test_learns_from_observations(self, chain_graph):
+        ctrl = self.make(chain_graph)
+        ctrl.on_metrics(observation(chain_graph, 500.0, parallelism=1))
+        ctrl.on_metrics(observation(chain_graph, 400.0, parallelism=2))
+        assert ctrl.learner.curve_for("worker") is not None
+
+    def test_correction_applies_learned_curve(self, chain_graph):
+        ctrl = self.make(chain_graph)
+        # Synthetic strongly sub-linear history: r(1)=500, r(5)=250.
+        for p, rate in ((1, 500.0), (5, 250.0)):
+            for _ in range(2):
+                ctrl.learner.observe("worker", p, rate)
+        # Linear model says 1000/500 = 2; the curve (alpha=0.125) says
+        # p*r(p) >= 1000 needs 3 instances.
+        decision = ctrl.on_metrics(observation(chain_graph, 500.0))
+        assert decision == {"worker": 3}
+
+    def test_saturating_curve_falls_back_to_model(self, chain_graph):
+        ctrl = self.make(chain_graph)
+        # Aggregate throughput saturates at r1/alpha = 500/1.0... use
+        # a curve whose asymptote is below the 1000 target.
+        for p, rate in ((1, 400.0), (2, 200.0)):
+            for _ in range(2):
+                ctrl.learner.observe("worker", p, rate)
+        curve = ctrl.learner.curve_for("worker")
+        assert curve.parallelism_for(1000.0) is None
+        # The learned inversion is unusable: keep the model's estimate
+        # rather than dropping the decision.
+        decision = ctrl.on_metrics(observation(chain_graph, 400.0))
+        assert decision is not None
+        assert decision["worker"] >= 2
+
+    def test_corrected_noop_returns_none(self, chain_graph):
+        ctrl = self.make(chain_graph)
+        # Curve says current configuration is already right even
+        # though the linear model would propose a change.
+        for p, rate in ((2, 1200.0), (4, 1100.0)):
+            for _ in range(2):
+                ctrl.learner.observe("worker", p, rate)
+        obs = observation(chain_graph, 450.0, parallelism=2)
+        decision = ctrl.on_metrics(obs)
+        # Linear: 1000/450 = 2.2 -> 3; learned curve: 2 instances at
+        # ~1150/s each already cover the target -> no action.
+        assert decision is None

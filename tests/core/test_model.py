@@ -1,0 +1,254 @@
+"""Unit tests for the DS2 model (Eq. 7/8), hand-computed cases."""
+
+import pytest
+
+from repro.core.model import compute_optimal_parallelism
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    filter_operator,
+    flatmap,
+    join,
+    map_operator,
+    sink,
+    source,
+)
+from repro.errors import PolicyError
+from tests.conftest import make_window
+
+
+@pytest.fixture
+def wordcount_like():
+    """src -> splitter(sel 20) -> counter -> snk."""
+    return LogicalGraph(
+        [
+            source("src", rate=RateSchedule.constant(1000.0)),
+            flatmap("splitter", costs=CostModel(processing_cost=1e-4),
+                    selectivity=20.0),
+            map_operator("counter", costs=CostModel(processing_cost=1e-5)),
+            sink("snk"),
+        ],
+        [
+            Edge("src", "splitter"),
+            Edge("splitter", "counter"),
+            Edge("counter", "snk"),
+        ],
+    )
+
+
+def window_for(graph, rates):
+    """Build a 10 s window where each operator instance processed at
+    its true rate for 1 s of useful time.
+
+    ``rates`` maps operator -> (per_instance_true_rate, selectivity,
+    parallelism).
+    """
+    counters = {}
+    for op, (rate, selectivity, parallelism) in rates.items():
+        for index in range(parallelism):
+            counters[(op, index)] = (
+                rate * 1.0,               # pulled over 1 s useful
+                rate * selectivity * 1.0,  # pushed
+                1.0,                      # useful time
+            )
+    return make_window(counters)
+
+
+class TestEq7Eq8:
+    def test_single_step_wordcount_sizing(self, wordcount_like):
+        # splitter true rate 500/s/instance, counter 10K/s/instance.
+        window = window_for(wordcount_like, {
+            "splitter": (500.0, 20.0, 1),
+            "counter": (10_000.0, 1.0, 1),
+            "snk": (1e6, 0.0, 1),
+        })
+        result = compute_optimal_parallelism(
+            wordcount_like, window, {"src": 1000.0}
+        )
+        # splitter: 1000 / 500 = 2 instances.
+        assert result.estimates["splitter"].optimal_parallelism == 2
+        # counter: ideal input = 1000*20 = 20K -> 2 instances.
+        assert result.estimates["counter"].optimal_parallelism == 2
+        # sink: 20K / 1e6 -> 1.
+        assert result.estimates["snk"].optimal_parallelism == 1
+
+    def test_lambda_star_uses_ideal_not_observed(self, wordcount_like):
+        # The splitter only observed 100 rec/s (backpressured), but its
+        # ideal output is selectivity x full source rate.
+        window = window_for(wordcount_like, {
+            "splitter": (500.0, 20.0, 1),
+            "counter": (10_000.0, 1.0, 1),
+            "snk": (1e6, 0.0, 1),
+        })
+        result = compute_optimal_parallelism(
+            wordcount_like, window, {"src": 1000.0}
+        )
+        est = result.estimates["splitter"]
+        assert est.ideal_output_rate == pytest.approx(20_000.0)
+        assert result.estimates["counter"].target_rate == pytest.approx(
+            20_000.0
+        )
+
+    def test_ceiling_applied(self, wordcount_like):
+        window = window_for(wordcount_like, {
+            "splitter": (300.0, 20.0, 1),   # 1000/300 = 3.33 -> 4
+            "counter": (10_000.0, 1.0, 1),
+            "snk": (1e6, 0.0, 1),
+        })
+        result = compute_optimal_parallelism(
+            wordcount_like, window, {"src": 1000.0}
+        )
+        est = result.estimates["splitter"]
+        assert est.optimal_parallelism_raw == pytest.approx(10.0 / 3.0)
+        assert est.optimal_parallelism == 4
+
+    def test_per_instance_rate_is_average(self, wordcount_like):
+        # Two splitter instances with different measured rates: Eq. 7
+        # divides the aggregate by p, i.e. uses the average.
+        window = make_window({
+            ("splitter", 0): (400.0, 8000.0, 1.0),
+            ("splitter", 1): (600.0, 12000.0, 1.0),
+            ("counter", 0): (10_000.0, 10_000.0, 1.0),
+            ("snk", 0): (1e6, 0.0, 1.0),
+        })
+        result = compute_optimal_parallelism(
+            wordcount_like, window, {"src": 1000.0}
+        )
+        # average 500/s -> 2 instances.
+        assert result.estimates["splitter"].optimal_parallelism == 2
+
+    def test_two_source_join_targets_sum(self):
+        graph = LogicalGraph(
+            [
+                source("s1", rate=RateSchedule.constant(300.0)),
+                source("s2", rate=RateSchedule.constant(700.0)),
+                join("j", costs=CostModel(processing_cost=1e-3),
+                     selectivity=0.5),
+                sink("snk"),
+            ],
+            [Edge("s1", "j"), Edge("s2", "j"), Edge("j", "snk")],
+        )
+        window = window_for(graph, {
+            "j": (250.0, 0.5, 1),
+            "snk": (1e6, 0.0, 1),
+        })
+        result = compute_optimal_parallelism(
+            graph, window, {"s1": 300.0, "s2": 700.0}
+        )
+        # Eq. 7 target = 300 + 700 = 1000 -> 1000/250 = 4 instances.
+        est = result.estimates["j"]
+        assert est.target_rate == pytest.approx(1000.0)
+        assert est.optimal_parallelism == 4
+        # Eq. 8: ideal output = 0.5 * 1000.
+        assert est.ideal_output_rate == pytest.approx(500.0)
+
+    def test_diamond_sums_branches(self, diamond_graph):
+        window = window_for(diamond_graph, {
+            "left": (1000.0, 1.0, 1),
+            "right": (1000.0, 0.5, 1),
+            "merge": (500.0, 1.0, 1),
+            "snk": (1e6, 0.0, 1),
+        })
+        result = compute_optimal_parallelism(
+            diamond_graph, window, {"src": 1000.0}
+        )
+        # merge receives 1000 (left) + 500 (right) = 1500 -> 3.
+        assert result.estimates["merge"].target_rate == pytest.approx(
+            1500.0
+        )
+        assert result.estimates["merge"].optimal_parallelism == 3
+
+    def test_rate_compensation_scales_targets(self, wordcount_like):
+        window = window_for(wordcount_like, {
+            "splitter": (500.0, 20.0, 1),
+            "counter": (10_000.0, 1.0, 1),
+            "snk": (1e6, 0.0, 1),
+        })
+        plain = compute_optimal_parallelism(
+            wordcount_like, window, {"src": 1000.0}
+        )
+        boosted = compute_optimal_parallelism(
+            wordcount_like, window, {"src": 1000.0},
+            rate_compensation=1.5,
+        )
+        assert boosted.estimates["splitter"].optimal_parallelism == 3
+        assert plain.estimates["splitter"].optimal_parallelism == 2
+
+    def test_invalid_compensation_rejected(self, wordcount_like):
+        window = window_for(wordcount_like, {
+            "splitter": (500.0, 20.0, 1),
+            "counter": (10_000.0, 1.0, 1),
+            "snk": (1e6, 0.0, 1),
+        })
+        with pytest.raises(PolicyError):
+            compute_optimal_parallelism(
+                wordcount_like, window, {"src": 1000.0},
+                rate_compensation=0.5,
+            )
+
+    def test_missing_source_rate_rejected(self, wordcount_like):
+        window = window_for(wordcount_like, {
+            "splitter": (500.0, 20.0, 1),
+            "counter": (10_000.0, 1.0, 1),
+            "snk": (1e6, 0.0, 1),
+        })
+        with pytest.raises(PolicyError, match="missing source rates"):
+            compute_optimal_parallelism(wordcount_like, window, {})
+
+
+class TestUnknownOperators:
+    def test_idle_operator_keeps_parallelism(self, wordcount_like):
+        window = make_window({
+            ("splitter", 0): (500.0, 10_000.0, 1.0),
+            ("counter", 0): (0.0, 0.0, 0.0),   # never ran
+            ("counter", 1): (0.0, 0.0, 0.0),
+            ("snk", 0): (1e6, 0.0, 1.0),
+        })
+        result = compute_optimal_parallelism(
+            wordcount_like, window, {"src": 1000.0}
+        )
+        assert "counter" in result.unknown_operators
+        assert result.estimates["counter"].optimal_parallelism == 2
+
+    def test_unknown_operator_uses_fallback_selectivity(
+        self, wordcount_like
+    ):
+        window = make_window({
+            ("splitter", 0): (0.0, 0.0, 0.0),
+            ("counter", 0): (10_000.0, 10_000.0, 1.0),
+            ("snk", 0): (1e6, 0.0, 1.0),
+        })
+        result = compute_optimal_parallelism(
+            wordcount_like, window, {"src": 1000.0}
+        )
+        # splitter unknown: selectivity falls back to 1.0, so the
+        # counter's target is the raw source rate.
+        assert result.estimates["counter"].target_rate == pytest.approx(
+            1000.0
+        )
+
+
+class TestGlobalParallelism:
+    def test_sums_raw_requirements(self, wordcount_like):
+        window = window_for(wordcount_like, {
+            "splitter": (500.0, 20.0, 1),      # raw 2.0
+            "counter": (10_000.0, 1.0, 1),     # raw 2.0
+            "snk": (1e6, 0.0, 1),              # raw 0.02
+        })
+        result = compute_optimal_parallelism(
+            wordcount_like, window, {"src": 1000.0}
+        )
+        # 2.0 + 2.0 + 0.02 -> ceil = 5 (section 4.3's summation).
+        assert result.global_parallelism() == 5
+
+    def test_minimum_one_worker(self, wordcount_like):
+        window = window_for(wordcount_like, {
+            "splitter": (1e9, 20.0, 1),
+            "counter": (1e9, 1.0, 1),
+            "snk": (1e9, 0.0, 1),
+        })
+        result = compute_optimal_parallelism(
+            wordcount_like, window, {"src": 1.0}
+        )
+        assert result.global_parallelism() == 1

@@ -1,0 +1,104 @@
+"""Unit tests for offline initial provisioning."""
+
+import pytest
+
+from repro.core.offline import (
+    microbenchmark_operator,
+    offline_provisioning,
+)
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    flatmap,
+    map_operator,
+    sink,
+    source,
+)
+from repro.engine.runtimes import FlinkRuntime
+from repro.errors import PolicyError
+
+
+@pytest.fixture
+def graph():
+    return LogicalGraph(
+        [
+            source("src", rate=RateSchedule.constant(5000.0)),
+            flatmap("split", costs=CostModel(processing_cost=1e-3),
+                    selectivity=4.0),
+            map_operator("agg", costs=CostModel(processing_cost=1e-4)),
+            sink("snk"),
+        ],
+        [Edge("src", "split"), Edge("split", "agg"),
+         Edge("agg", "snk")],
+    )
+
+
+class TestMicrobenchmark:
+    def test_measures_true_rate_without_saturation(self, graph):
+        profile = microbenchmark_operator(
+            graph.operator("split"),
+            runtime=FlinkRuntime(),
+            duration=20.0,
+        )
+        # Capacity 1/(1e-3 * 1.08 instrumentation) ~ 926 rec/s.
+        assert profile.true_processing_rate == pytest.approx(
+            1000.0 / 1.08, rel=0.02
+        )
+        assert profile.selectivity == pytest.approx(4.0, rel=0.02)
+
+    def test_rejects_sources_and_sinks(self, graph):
+        with pytest.raises(PolicyError):
+            microbenchmark_operator(graph.operator("src"))
+        with pytest.raises(PolicyError):
+            microbenchmark_operator(graph.operator("snk"))
+
+
+class TestOfflineProvisioning:
+    def test_plan_sized_by_eq7(self, graph):
+        plan = offline_provisioning(
+            graph, {"src": 5000.0}, duration=20.0
+        )
+        # split: 5000 / 926 -> 6 instances.
+        assert plan.parallelism_of("split") == 6
+        # agg: input 20000/s, capacity ~9259/inst -> 3 instances.
+        assert plan.parallelism_of("agg") == 3
+        assert plan.parallelism_of("src") == 1
+        assert plan.parallelism_of("snk") == 1
+
+    def test_headroom_overprovisions(self, graph):
+        plain = offline_provisioning(graph, {"src": 5000.0},
+                                     duration=20.0)
+        padded = offline_provisioning(
+            graph, {"src": 5000.0}, duration=20.0, headroom=1.5
+        )
+        assert padded.parallelism_of("split") > plain.parallelism_of(
+            "split"
+        )
+
+    def test_offline_plan_actually_sustains_the_rate(self, graph):
+        """End-to-end: deploy the offline plan and verify it keeps up
+        with no backpressure — the plan is usable before any online
+        adaptation."""
+        from repro.engine.simulator import EngineConfig, Simulator
+
+        plan = offline_provisioning(graph, {"src": 5000.0},
+                                    duration=20.0)
+        sim = Simulator(
+            plan, FlinkRuntime(),
+            EngineConfig(tick=0.1, track_record_latency=False),
+        )
+        sim.run_for(30.0)
+        window = sim.collect_metrics()
+        assert window.source_observed_rates["src"] == pytest.approx(
+            5000.0, rel=0.02
+        )
+        assert not sim.backpressured_operators()
+
+    def test_missing_source_rates_rejected(self, graph):
+        with pytest.raises(PolicyError):
+            offline_provisioning(graph, {})
+
+    def test_invalid_headroom_rejected(self, graph):
+        with pytest.raises(PolicyError):
+            offline_provisioning(graph, {"src": 1.0}, headroom=0.5)

@@ -1,0 +1,58 @@
+"""Unit tests for the DS2 policy layer (execution-model adaptation)."""
+
+import pytest
+
+from repro.core.policy import DS2Policy, ExecutionModel
+from repro.errors import PolicyError
+from tests.conftest import make_window
+
+
+def standard_window():
+    return make_window({
+        ("worker", 0): (500.0, 500.0, 1.0),
+        ("snk", 0): (1e6, 0.0, 1.0),
+    })
+
+
+class TestPerOperatorPolicy:
+    def test_decision_covers_scalable_operators(self, chain_graph):
+        policy = DS2Policy(chain_graph)
+        decision = policy.decide(standard_window(), {"src": 1000.0})
+        assert decision.parallelism == {"worker": 2}
+        assert decision.actionable
+
+    def test_custom_scalable_set(self, chain_graph):
+        policy = DS2Policy(
+            chain_graph, scalable_operators=("worker", "snk")
+        )
+        decision = policy.decide(standard_window(), {"src": 1000.0})
+        assert set(decision.parallelism) == {"worker", "snk"}
+
+    def test_unknown_scalable_operator_rejected(self, chain_graph):
+        with pytest.raises(PolicyError):
+            DS2Policy(chain_graph, scalable_operators=("ghost",))
+
+    def test_not_actionable_with_idle_operator(self, chain_graph):
+        window = make_window({
+            ("worker", 0): (0.0, 0.0, 0.0),
+            ("snk", 0): (1e6, 0.0, 1.0),
+        })
+        policy = DS2Policy(chain_graph)
+        decision = policy.decide(window, {"src": 1000.0})
+        assert not decision.actionable
+        assert "worker" in decision.evaluation.unknown_operators
+
+
+class TestGlobalPolicy:
+    def test_all_operators_get_worker_count(self, chain_graph):
+        policy = DS2Policy(chain_graph, ExecutionModel.GLOBAL)
+        decision = policy.decide(standard_window(), {"src": 1000.0})
+        values = set(decision.parallelism.values())
+        assert len(values) == 1
+        assert set(decision.parallelism) == set(chain_graph.names)
+
+    def test_worker_count_is_summed_requirement(self, chain_graph):
+        policy = DS2Policy(chain_graph, ExecutionModel.GLOBAL)
+        decision = policy.decide(standard_window(), {"src": 1000.0})
+        # worker raw 2.0 + sink raw 0.001 -> 3 workers.
+        assert decision.parallelism["worker"] == 3

@@ -1,0 +1,131 @@
+"""Unit tests for the metrics repository (paper Figure 5)."""
+
+import pytest
+
+from repro.core.repository import MetricsRepository
+from repro.errors import MetricsError
+from tests.conftest import make_window
+
+
+def window(start, end, rate=100.0, parallelism=2):
+    counters = {
+        ("op", index): (rate * (end - start), rate * (end - start), 1.0)
+        for index in range(parallelism)
+    }
+    return make_window(counters, start=start, end=end)
+
+
+class TestReporting:
+    def test_report_and_latest(self):
+        repo = MetricsRepository()
+        first = window(0, 10)
+        second = window(10, 20)
+        repo.report(first)
+        repo.report(second)
+        assert len(repo) == 2
+        assert repo.latest() is second
+        assert repo.total_reported == 2
+
+    def test_out_of_order_rejected(self):
+        repo = MetricsRepository()
+        repo.report(window(10, 20))
+        with pytest.raises(MetricsError, match="in order"):
+            repo.report(window(0, 10))
+
+    def test_retention_evicts_oldest(self):
+        repo = MetricsRepository(retention=3)
+        for index in range(5):
+            repo.report(window(index * 10.0, (index + 1) * 10.0))
+        assert len(repo) == 3
+        assert repo.total_reported == 5
+        assert repo.last(3)[0].start == 20.0
+
+    def test_invalid_retention(self):
+        with pytest.raises(MetricsError):
+            MetricsRepository(retention=0)
+
+    def test_empty_latest(self):
+        assert MetricsRepository().latest() is None
+
+    def test_clear(self):
+        repo = MetricsRepository()
+        repo.report(window(0, 10))
+        repo.clear()
+        assert len(repo) == 0
+
+
+class TestLookback:
+    def test_merged_lookback_sums_counters(self):
+        repo = MetricsRepository()
+        repo.report(window(0, 10, rate=100.0))
+        repo.report(window(10, 20, rate=100.0))
+        merged = repo.merged_lookback(20.0)
+        assert merged.duration == pytest.approx(20.0)
+        # 100 rec/s over 20 s across both windows.
+        assert merged.observed_processing_rate("op") == pytest.approx(
+            200.0  # two instances at 100 rec/s each
+        )
+
+    def test_lookback_respects_cutoff(self):
+        repo = MetricsRepository()
+        repo.report(window(0, 10))
+        repo.report(window(10, 20))
+        repo.report(window(20, 30))
+        merged = repo.merged_lookback(15.0)
+        assert merged.start == 10.0
+
+    def test_lookback_on_empty(self):
+        assert MetricsRepository().merged_lookback(10.0) is None
+
+    def test_invalid_lookback(self):
+        with pytest.raises(MetricsError):
+            MetricsRepository().merged_lookback(0.0)
+
+
+class TestOperatorHistory:
+    def test_history_tracks_parallelism_changes(self):
+        repo = MetricsRepository()
+        repo.report(window(0, 10, parallelism=2))
+        repo.report(window(10, 20, parallelism=4))
+        history = repo.operator_history("op")
+        assert [p for p, _ in history] == [2, 4]
+        for _, rate in history:
+            assert rate > 0
+
+    def test_unmeasured_windows_skipped(self):
+        repo = MetricsRepository()
+        counters = {("op", 0): (0.0, 0.0, 0.0)}
+        repo.report(make_window(counters, start=0, end=10))
+        assert repo.operator_history("op") == []
+
+    def test_unknown_operator_empty(self):
+        repo = MetricsRepository()
+        repo.report(window(0, 10))
+        assert repo.operator_history("ghost") == []
+
+
+class TestControlLoopIntegration:
+    def test_loop_reports_into_repository(self, chain_graph):
+        from repro.core.controller import ControlLoop
+        from repro.core.manager import DS2Controller
+        from repro.core.policy import DS2Policy
+        from repro.dataflow.physical import PhysicalPlan
+        from repro.engine.runtimes import FlinkRuntime
+        from repro.engine.simulator import EngineConfig, Simulator
+
+        repo = MetricsRepository(retention=4)
+        sim = Simulator(
+            PhysicalPlan(chain_graph, {"worker": 2}),
+            FlinkRuntime(),
+            EngineConfig(tick=0.1, track_record_latency=False),
+        )
+        loop = ControlLoop(
+            sim,
+            DS2Controller(DS2Policy(chain_graph)),
+            policy_interval=5.0,
+            repository=repo,
+        )
+        loop.run(40.0)
+        assert repo.total_reported == 8
+        assert len(repo) == 4  # retention applied
+        assert repo.operator_history("worker")

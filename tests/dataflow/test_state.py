@@ -1,0 +1,106 @@
+"""Unit tests for state accumulation and savepoint cost models."""
+
+import pytest
+
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    map_operator,
+    sink,
+    source,
+)
+from repro.dataflow.state import SavepointModel, StateModel
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def stateful_graph():
+    return LogicalGraph(
+        [
+            source("src", rate=RateSchedule.constant(10.0)),
+            map_operator(
+                "counter",
+                costs=CostModel(processing_cost=1e-6),
+                state_bytes_per_record=8.0,
+            ),
+            sink("snk"),
+        ],
+        [Edge("src", "counter"), Edge("counter", "snk")],
+    )
+
+
+class TestStateModel:
+    def test_state_grows_with_records(self, stateful_graph):
+        state = StateModel(graph=stateful_graph)
+        state.record_processed("counter", 1000.0)
+        assert state.state_bytes("counter") == pytest.approx(8000.0)
+        assert state.total_bytes == pytest.approx(8000.0)
+
+    def test_stateless_operator_stays_at_zero(self, stateful_graph):
+        state = StateModel(graph=stateful_graph)
+        state.record_processed("snk", 1000.0)
+        assert state.state_bytes("snk") == 0.0
+
+    def test_state_capped(self, stateful_graph):
+        state = StateModel(graph=stateful_graph, max_state_bytes=100.0)
+        state.record_processed("counter", 1e9)
+        assert state.state_bytes("counter") == 100.0
+
+    def test_negative_records_rejected(self, stateful_graph):
+        state = StateModel(graph=stateful_graph)
+        with pytest.raises(EngineError):
+            state.record_processed("counter", -1.0)
+
+    def test_unknown_operator_rejected(self, stateful_graph):
+        state = StateModel(graph=stateful_graph)
+        with pytest.raises(EngineError):
+            state.state_bytes("ghost")
+
+    def test_snapshot_restore_roundtrip(self, stateful_graph):
+        state = StateModel(graph=stateful_graph)
+        state.record_processed("counter", 500.0)
+        snapshot = state.snapshot()
+        state.record_processed("counter", 500.0)
+        state.restore(snapshot)
+        assert state.state_bytes("counter") == pytest.approx(4000.0)
+
+    def test_restore_validates(self, stateful_graph):
+        state = StateModel(graph=stateful_graph)
+        with pytest.raises(EngineError):
+            state.restore({"ghost": 10.0})
+        with pytest.raises(EngineError):
+            state.restore({"counter": -1.0})
+
+
+class TestSavepointModel:
+    def test_outage_scales_with_state(self):
+        model = SavepointModel(
+            base_seconds=10.0,
+            snapshot_bandwidth=100e6,
+            redeploy_seconds=20.0,
+        )
+        assert model.outage_seconds(0.0) == pytest.approx(30.0)
+        assert model.outage_seconds(1e9) == pytest.approx(40.0)
+
+    def test_default_matches_paper_scale(self):
+        # The paper reports 30-50 s Flink outages for wordcount jobs
+        # with a few GB of state.
+        model = SavepointModel()
+        assert 20.0 <= model.outage_seconds(1e9) <= 60.0
+
+    def test_instant_model_is_free(self):
+        model = SavepointModel.instant()
+        assert model.outage_seconds(1e12) == pytest.approx(0.0, abs=1e-5)
+
+    def test_negative_state_rejected(self):
+        with pytest.raises(EngineError):
+            SavepointModel().outage_seconds(-1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(EngineError):
+            SavepointModel(base_seconds=-1.0)
+        with pytest.raises(EngineError):
+            SavepointModel(snapshot_bandwidth=0.0)
+        with pytest.raises(EngineError):
+            SavepointModel(redeploy_seconds=-1.0)

@@ -1,0 +1,133 @@
+"""Unit tests for the runtime window state machine."""
+
+import pytest
+
+from repro.dataflow.operators import WindowKind, WindowSpec
+from repro.dataflow.windowing import WindowState
+from repro.errors import EngineError
+
+
+def tumbling(length=10.0, assign_cost=1e-6):
+    return WindowState(
+        spec=WindowSpec(
+            kind=WindowKind.TUMBLING,
+            length=length,
+            assign_cost=assign_cost,
+        )
+    )
+
+
+def sliding(length=10.0, slide=2.0):
+    return WindowState(
+        spec=WindowSpec(
+            kind=WindowKind.SLIDING, length=length, slide=slide
+        )
+    )
+
+
+def session(length=10.0, gap=2.0):
+    return WindowState(
+        spec=WindowSpec(
+            kind=WindowKind.SESSION, length=length, gap=gap,
+            staggered=True,
+        )
+    )
+
+
+class TestAssign:
+    def test_assign_buffers_records(self):
+        state = tumbling()
+        state.assign(100.0)
+        assert state.buffered == 100.0
+
+    def test_assign_returns_cost(self):
+        state = tumbling(assign_cost=2e-6)
+        assert state.assign(100.0) == pytest.approx(2e-4)
+
+    def test_sliding_replicates(self):
+        state = sliding(length=10.0, slide=2.0)
+        state.assign(100.0)
+        assert state.buffered == pytest.approx(500.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EngineError):
+            tumbling().assign(-1.0)
+
+
+class TestSynchronizedFire:
+    def test_no_fire_before_boundary(self):
+        state = tumbling(length=10.0)
+        state.assign(50.0)
+        released, fires = state.maybe_fire(9.9)
+        assert released == 0.0 and fires == 0
+        assert state.buffered == 50.0
+
+    def test_fire_at_boundary_releases_everything(self):
+        state = tumbling(length=10.0)
+        state.assign(50.0)
+        released, fires = state.maybe_fire(10.0)
+        assert released == 50.0 and fires == 1
+        assert state.buffered == 0.0
+
+    def test_multiple_boundaries_in_one_tick(self):
+        state = tumbling(length=1.0)
+        state.assign(30.0)
+        released, fires = state.maybe_fire(3.5)
+        assert released == 30.0
+        assert fires == 3
+
+    def test_fire_clock_advances(self):
+        state = tumbling(length=10.0)
+        state.maybe_fire(10.0)
+        assert state.seconds_until_fire(10.0) == pytest.approx(10.0)
+        assert state.seconds_until_fire(15.0) == pytest.approx(5.0)
+
+    def test_seconds_until_fire_never_negative(self):
+        state = tumbling(length=10.0)
+        assert state.seconds_until_fire(100.0) == 0.0
+
+
+class TestStaggeredFire:
+    def test_releases_proportional_fraction(self):
+        state = session(length=10.0, gap=2.0)  # interval 12s
+        state.assign(1200.0)
+        released, _ = state.maybe_fire(3.0)
+        assert released == pytest.approx(1200.0 * 3.0 / 12.0)
+
+    def test_converges_to_steady_buffer(self):
+        state = session(length=10.0, gap=2.0)
+        rate = 100.0
+        dt = 0.5
+        now = 0.0
+        for _ in range(400):
+            now += dt
+            state.assign(rate * dt)
+            state.maybe_fire(now)
+        # Steady-state holding: about one fire interval of records.
+        assert state.buffered == pytest.approx(
+            rate * 12.0, rel=0.05
+        )
+
+    def test_elapsed_capped_at_full_release(self):
+        state = session(length=10.0, gap=2.0)
+        state.assign(100.0)
+        released, _ = state.maybe_fire(1000.0)
+        assert released == pytest.approx(100.0)
+
+
+class TestReset:
+    def test_reset_aligns_fire_clock(self):
+        state = tumbling(length=10.0)
+        state.assign(10.0)
+        state.reset(25.0)
+        # Next boundary after t=25 is t=30.
+        assert state.next_fire == pytest.approx(30.0)
+        # Buffered records survive (they are part of the savepoint).
+        assert state.buffered == 10.0
+
+    def test_reset_staggered_resets_clock(self):
+        state = session()
+        state.assign(100.0)
+        state.reset(50.0)
+        released, _ = state.maybe_fire(50.0)
+        assert released == 0.0

@@ -1,0 +1,64 @@
+"""Unit tests for fair (water-filling) allocation."""
+
+import math
+
+import pytest
+
+from repro.engine.allocation import fair_allocate
+from repro.errors import EngineError
+
+
+class TestFairAllocate:
+    def test_everyone_satisfied_when_total_suffices(self):
+        assert fair_allocate(100.0, [10.0, 20.0, 30.0]) == [
+            10.0,
+            20.0,
+            30.0,
+        ]
+
+    def test_infinite_total(self):
+        assert fair_allocate(math.inf, [5.0, 7.0]) == [5.0, 7.0]
+
+    def test_equal_split_under_contention(self):
+        allocation = fair_allocate(30.0, [100.0, 100.0, 100.0])
+        assert allocation == pytest.approx([10.0, 10.0, 10.0])
+
+    def test_small_demand_releases_share(self):
+        allocation = fair_allocate(30.0, [5.0, 100.0])
+        assert allocation[0] == pytest.approx(5.0)
+        assert allocation[1] == pytest.approx(25.0)
+
+    def test_sum_never_exceeds_total(self):
+        allocation = fair_allocate(17.0, [9.0, 9.0, 9.0])
+        assert sum(allocation) == pytest.approx(17.0)
+
+    def test_sum_never_exceeds_demand(self):
+        allocation = fair_allocate(1000.0, [1.0, 2.0])
+        assert sum(allocation) == pytest.approx(3.0)
+
+    def test_no_allocation_exceeds_desire(self):
+        allocation = fair_allocate(100.0, [5.0, 50.0, 200.0])
+        for granted, desired in zip(allocation, [5.0, 50.0, 200.0]):
+            assert granted <= desired + 1e-9
+
+    def test_zero_and_negative_desires(self):
+        allocation = fair_allocate(10.0, [0.0, -5.0, 20.0])
+        assert allocation[0] == 0.0
+        assert allocation[1] == 0.0
+        assert allocation[2] == pytest.approx(10.0)
+
+    def test_empty_desires(self):
+        assert fair_allocate(10.0, []) == []
+
+    def test_zero_total(self):
+        assert fair_allocate(0.0, [5.0, 5.0]) == [0.0, 0.0]
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(EngineError):
+            fair_allocate(-1.0, [1.0])
+
+    def test_three_tier_waterfill(self):
+        # total 12 over demands (2, 5, 9): 2 is satisfied, remaining 10
+        # splits as 5 each, so 5 is satisfied and 9 gets 5.
+        allocation = fair_allocate(12.0, [2.0, 5.0, 9.0])
+        assert allocation == pytest.approx([2.0, 5.0, 5.0])

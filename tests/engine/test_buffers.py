@@ -1,0 +1,86 @@
+"""Unit tests for fluid queues."""
+
+import math
+
+import pytest
+
+from repro.engine.buffers import Queue
+from repro.errors import EngineError
+
+
+class TestBoundedQueue:
+    def test_push_within_capacity(self):
+        queue = Queue(capacity=100.0)
+        assert queue.push(60.0) == 60.0
+        assert queue.length == 60.0
+        assert queue.free_space == pytest.approx(40.0)
+
+    def test_push_clipped_at_capacity(self):
+        queue = Queue(capacity=100.0)
+        accepted = queue.push(150.0)
+        assert accepted == 100.0
+        assert queue.length == 100.0
+        assert queue.free_space == 0.0
+
+    def test_fill_fraction(self):
+        queue = Queue(capacity=200.0)
+        queue.push(50.0)
+        assert queue.fill_fraction == pytest.approx(0.25)
+
+    def test_pop_limited_by_content(self):
+        queue = Queue(capacity=100.0)
+        queue.push(30.0)
+        assert queue.pop(50.0) == 30.0
+        assert queue.length == 0.0
+
+    def test_force_push_ignores_capacity(self):
+        queue = Queue(capacity=10.0)
+        queue.force_push(25.0)
+        assert queue.length == 25.0
+        assert queue.free_space == 0.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(EngineError):
+            Queue(capacity=0.0)
+
+    def test_bounded_flag(self):
+        assert Queue(capacity=1.0).bounded
+        assert not Queue().bounded
+
+
+class TestUnboundedQueue:
+    def test_never_rejects(self):
+        queue = Queue()
+        assert queue.push(1e12) == 1e12
+        assert queue.free_space == math.inf
+        assert queue.fill_fraction == 0.0
+
+
+class TestConservation:
+    def test_pushed_minus_popped_equals_length(self):
+        queue = Queue(capacity=100.0)
+        queue.push(80.0)
+        queue.pop(30.0)
+        queue.push(40.0)
+        queue.check_conservation()
+        assert queue.total_pushed - queue.total_popped == pytest.approx(
+            queue.length
+        )
+
+    def test_drain_empties(self):
+        queue = Queue()
+        queue.push(42.0)
+        assert queue.drain() == 42.0
+        assert queue.length == 0.0
+        queue.check_conservation()
+
+    def test_negative_operations_rejected(self):
+        queue = Queue()
+        with pytest.raises(EngineError):
+            queue.push(-1.0)
+        with pytest.raises(EngineError):
+            queue.pop(-1.0)
+
+    def test_repr(self):
+        assert "inf" in repr(Queue())
+        assert "10" in repr(Queue(capacity=10.0))

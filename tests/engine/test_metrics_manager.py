@@ -1,0 +1,98 @@
+"""Unit tests for the MetricsManager aggregation (section 4.1)."""
+
+import pytest
+
+from repro.dataflow.physical import InstanceId
+from repro.engine.metrics_manager import MetricsManager
+from repro.errors import MetricsError
+
+
+@pytest.fixture
+def manager():
+    m = MetricsManager()
+    m.register_instances([InstanceId("op", 0), InstanceId("op", 1)])
+    return m
+
+
+class TestRecording:
+    def test_accumulates_between_collections(self, manager):
+        iid = InstanceId("op", 0)
+        manager.record(iid, pulled=10, pushed=5, useful=0.05, waiting=0.05)
+        manager.record(iid, pulled=10, pushed=5, useful=0.05, waiting=0.05)
+        manager.advance(0.1)
+        manager.advance(0.1)
+        window = manager.collect()
+        counters = window.instances[iid]
+        assert counters.records_pulled == 20.0
+        assert counters.useful_time == pytest.approx(0.1)
+        assert counters.observed_time == pytest.approx(0.2)
+
+    def test_unregistered_instance_rejected(self, manager):
+        with pytest.raises(MetricsError):
+            manager.record(
+                InstanceId("ghost", 0), pulled=1, pushed=1,
+                useful=0.0, waiting=0.0,
+            )
+
+    def test_negative_counters_rejected(self, manager):
+        with pytest.raises(MetricsError):
+            manager.record(
+                InstanceId("op", 0), pulled=-1, pushed=0,
+                useful=0.0, waiting=0.0,
+            )
+
+
+class TestCollection:
+    def test_collect_resets_counters(self, manager):
+        iid = InstanceId("op", 0)
+        manager.record(iid, pulled=10, pushed=10, useful=0.1, waiting=0.0)
+        manager.advance(0.1)
+        first = manager.collect()
+        manager.advance(0.1)
+        second = manager.collect()
+        assert first.instances[iid].records_pulled == 10.0
+        assert second.instances[iid].records_pulled == 0.0
+
+    def test_window_boundaries_advance(self, manager):
+        manager.advance(1.0)
+        first = manager.collect()
+        manager.advance(2.0)
+        second = manager.collect()
+        assert first.start == 0.0 and first.end == 1.0
+        assert second.start == 1.0 and second.end == 3.0
+
+    def test_outage_fraction(self, manager):
+        manager.advance(1.0, outage=True)
+        manager.advance(1.0, outage=False)
+        window = manager.collect()
+        assert window.outage_fraction == pytest.approx(0.5)
+
+    def test_outage_fraction_clamped(self, manager):
+        manager.advance(1.0, outage=True)
+        window = manager.collect()
+        assert window.outage_fraction == 1.0
+
+    def test_useful_clamped_to_observed(self, manager):
+        # Floating-point accumulation may nudge useful just past the
+        # window; the collector clamps instead of raising.
+        iid = InstanceId("op", 0)
+        manager.record(iid, pulled=1, pushed=1, useful=0.1000001,
+                       waiting=0.0)
+        manager.advance(0.1)
+        window = manager.collect()
+        assert window.instances[iid].useful_time <= 0.1 + 1e-12
+
+    def test_register_replaces_instances(self, manager):
+        manager.register_instances([InstanceId("new", 0)])
+        manager.advance(1.0)
+        window = manager.collect()
+        assert list(window.instances) == [InstanceId("new", 0)]
+
+    def test_source_rates_and_health_passthrough(self, manager):
+        manager.advance(1.0)
+        window = manager.collect(source_observed_rates={"src": 123.0})
+        assert window.source_observed_rates["src"] == 123.0
+
+    def test_negative_advance_rejected(self, manager):
+        with pytest.raises(MetricsError):
+            manager.advance(-0.1)

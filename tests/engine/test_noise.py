@@ -1,0 +1,124 @@
+"""Tests for cost-noise injection and its interaction with the
+manager's noise guards (suppress_minor_change, activation)."""
+
+import pytest
+
+from repro.core.controller import ControlLoop
+from repro.core.manager import DS2Controller, ManagerConfig
+from repro.core.policy import DS2Policy
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    map_operator,
+    sink,
+    source,
+)
+from repro.dataflow.physical import PhysicalPlan
+from repro.engine.runtimes import FlinkRuntime
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.errors import EngineError
+
+
+def pipeline(rate=10_000.0, cost=1e-4):
+    return LogicalGraph(
+        [
+            source("src", rate=RateSchedule.constant(rate)),
+            map_operator("op", costs=CostModel(processing_cost=cost)),
+            sink("snk"),
+        ],
+        [Edge("src", "op"), Edge("op", "snk")],
+    )
+
+
+class TestJitterMechanics:
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(EngineError):
+            EngineConfig(cost_jitter=1.0)
+        with pytest.raises(EngineError):
+            EngineConfig(cost_jitter=-0.1)
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            sim = Simulator(
+                PhysicalPlan(pipeline(), {"op": 2}),
+                FlinkRuntime(),
+                EngineConfig(
+                    tick=0.1, track_record_latency=False,
+                    cost_jitter=0.1, seed=seed,
+                ),
+            )
+            sim.run_for(10.0)
+            window = sim.collect_metrics()
+            return window.aggregated_true_processing_rate("op")
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_jitter_spreads_measured_true_rates(self):
+        sim = Simulator(
+            PhysicalPlan(pipeline(), {"op": 2}),
+            FlinkRuntime(),
+            EngineConfig(
+                tick=0.1, track_record_latency=False,
+                cost_jitter=0.10, seed=3,
+            ),
+        )
+        rates = []
+        for _ in range(10):
+            sim.run_for(2.0)
+            window = sim.collect_metrics()
+            rate = window.aggregated_true_processing_rate("op")
+            if rate:
+                rates.append(rate)
+        spread = (max(rates) - min(rates)) / min(rates)
+        assert 0.005 < spread < 0.25
+
+    def test_zero_jitter_is_noise_free(self):
+        sim = Simulator(
+            PhysicalPlan(pipeline(), {"op": 2}),
+            FlinkRuntime(),
+            EngineConfig(tick=0.1, track_record_latency=False),
+        )
+        rates = []
+        for _ in range(5):
+            sim.run_for(2.0)
+            window = sim.collect_metrics()
+            rates.append(window.aggregated_true_processing_rate("op"))
+        assert max(rates) == pytest.approx(min(rates), rel=1e-9)
+
+
+class TestNoiseGuards:
+    def run_loop(self, suppress, jitter=0.08, duration=600.0):
+        # Instrumented capacity per instance ~9.26K/s; at 55K/s the
+        # noise-free raw requirement is ~5.94 instances — right at the
+        # ceil boundary, so cost noise flips the proposal between 6
+        # and 7.
+        graph = pipeline(rate=55_000.0)
+        sim = Simulator(
+            PhysicalPlan(graph, {"op": 6}),
+            FlinkRuntime(),
+            EngineConfig(
+                tick=0.25, track_record_latency=False,
+                cost_jitter=jitter, seed=11,
+            ),
+        )
+        controller = DS2Controller(
+            DS2Policy(graph),
+            ManagerConfig(
+                warmup_intervals=1,
+                activation_intervals=1,
+                suppress_minor_change=suppress,
+            ),
+        )
+        loop = ControlLoop(sim, controller, policy_interval=10.0)
+        result = loop.run(duration)
+        return result.scaling_steps
+
+    def test_minor_change_suppression_prevents_noise_churn(self):
+        churning = self.run_loop(suppress=0)
+        steady = self.run_loop(suppress=1)
+        # Without the guard, noise flips the ceil and triggers actions;
+        # with it, the configuration holds still.
+        assert churning >= 1
+        assert steady == 0

@@ -1,0 +1,135 @@
+"""Unit tests for the Flink/Heron/Timely execution models."""
+
+import pytest
+
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    map_operator,
+    sink,
+    source,
+)
+from repro.dataflow.physical import InstanceId, PhysicalPlan
+from repro.engine.runtimes import FlinkRuntime, HeronRuntime, TimelyRuntime
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def graph():
+    return LogicalGraph(
+        [
+            source("src", rate=RateSchedule.constant(100.0)),
+            map_operator("m", costs=CostModel(processing_cost=1e-3)),
+            sink("snk"),
+        ],
+        [Edge("src", "m"), Edge("m", "snk")],
+    )
+
+
+class TestFlinkRuntime:
+    def test_queue_capacity_in_seconds_of_work(self, graph):
+        runtime = FlinkRuntime(buffer_seconds=2.0)
+        spec = graph.operator("m")
+        # 2 seconds of work at 1ms per record = 2000 records.
+        assert runtime.queue_capacity(spec, 1) == pytest.approx(2000.0)
+
+    def test_queue_capacity_guard(self, graph):
+        runtime = FlinkRuntime(max_queue_records=500.0)
+        spec = graph.operator("m")
+        assert runtime.queue_capacity(spec, 1) == 500.0
+
+    def test_budget_is_full_tick_per_instance(self, graph):
+        runtime = FlinkRuntime()
+        plan = PhysicalPlan(graph, {"m": 3})
+        budgets = runtime.budgets(plan, {}, dt=0.1)
+        assert all(b == pytest.approx(0.1) for b in budgets.values())
+        assert len(budgets) == 5
+
+    def test_core_contention_scales_budgets(self, graph):
+        runtime = FlinkRuntime(cores=2)
+        plan = PhysicalPlan(graph, {"m": 6})  # 8 instances on 2 cores
+        budgets = runtime.budgets(plan, {}, dt=0.1)
+        assert budgets[InstanceId("m", 0)] == pytest.approx(0.1 * 2 / 8)
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            FlinkRuntime(buffer_seconds=0.0)
+        with pytest.raises(EngineError):
+            FlinkRuntime(cores=0)
+
+    def test_blocking_semantics_flags(self):
+        runtime = FlinkRuntime()
+        assert runtime.sources_blocked_by_backpressure
+        assert not runtime.spin_when_idle
+
+
+class TestHeronRuntime:
+    def test_queue_capacity_from_bytes(self, graph):
+        runtime = HeronRuntime(queue_bytes=1000.0)
+        spec = graph.operator("m")  # default 100 bytes per record
+        assert runtime.queue_capacity(spec, 1) == pytest.approx(10.0)
+
+    def test_default_is_100mib(self, graph):
+        runtime = HeronRuntime()
+        spec = graph.operator("m")
+        expected = 100 * 1024 * 1024 / spec.record_bytes
+        assert runtime.queue_capacity(spec, 1) == pytest.approx(expected)
+
+    def test_no_instrumentation_overhead(self):
+        # Heron gathers the required metrics by default (section 5.6).
+        assert HeronRuntime().instrumentation_overhead == 0.0
+
+    def test_higher_backpressure_threshold(self):
+        assert HeronRuntime().backpressure_threshold == 0.9
+
+
+class TestTimelyRuntime:
+    def test_unbounded_queues(self, graph):
+        runtime = TimelyRuntime()
+        assert runtime.queue_capacity(graph.operator("m"), 4) is None
+
+    def test_requires_uniform_parallelism(self, graph):
+        runtime = TimelyRuntime()
+        plan = PhysicalPlan(graph, {"src": 2, "m": 3, "snk": 2})
+        with pytest.raises(EngineError, match="global"):
+            runtime.budgets(plan, {}, dt=0.1)
+
+    def test_worker_budget_is_work_conserving(self, graph):
+        runtime = TimelyRuntime()
+        plan = PhysicalPlan(graph, {name: 2 for name in graph.names})
+        demands = {iid: 0.0 for iid in plan.all_instances()}
+        # Worker 0's map instance has all the pending work.
+        demands[InstanceId("m", 0)] = 1.0
+        budgets = runtime.budgets(plan, demands, dt=0.1)
+        # The busy instance gets nearly the whole worker tick (idle
+        # co-located instances only receive spin leftovers).
+        assert budgets[InstanceId("m", 0)] >= 0.09
+
+    def test_budget_split_among_busy_instances(self, graph):
+        runtime = TimelyRuntime()
+        plan = PhysicalPlan(graph, {name: 1 for name in graph.names})
+        demands = {
+            InstanceId("src", 0): 1.0,
+            InstanceId("m", 0): 1.0,
+            InstanceId("snk", 0): 1.0,
+        }
+        budgets = runtime.budgets(plan, demands, dt=0.3)
+        # Three equally hungry instances share one worker evenly.
+        assert budgets[InstanceId("m", 0)] == pytest.approx(0.1)
+
+    def test_per_worker_isolation(self, graph):
+        runtime = TimelyRuntime()
+        plan = PhysicalPlan(graph, {name: 2 for name in graph.names})
+        demands = {iid: 1.0 for iid in plan.all_instances()}
+        budgets = runtime.budgets(plan, demands, dt=0.3)
+        # Each worker runs one instance of each of the 3 operators.
+        worker0 = sum(
+            b for iid, b in budgets.items() if iid.index == 0
+        )
+        assert worker0 == pytest.approx(0.3)
+
+    def test_no_backpressure_semantics(self):
+        runtime = TimelyRuntime()
+        assert not runtime.sources_blocked_by_backpressure
+        assert runtime.spin_when_idle

@@ -1,0 +1,222 @@
+"""Edge-case tests: redeploys with windows, Timely rescaling, rate
+schedules mid-flight, and metrics across outages."""
+
+import pytest
+
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    map_operator,
+    session_window,
+    sink,
+    sliding_window,
+    source,
+)
+from repro.dataflow.physical import PhysicalPlan
+from repro.dataflow.state import SavepointModel
+from repro.engine.runtimes import FlinkRuntime, TimelyRuntime
+from repro.engine.simulator import EngineConfig, Simulator
+
+
+def window_pipeline(rate=10_000.0, kind="sliding"):
+    if kind == "sliding":
+        win = sliding_window(
+            "win", length=4.0, slide=1.0, fire_selectivity=0.01,
+            assign_cost=1e-6, fire_cost=1e-6,
+        )
+    else:
+        win = session_window(
+            "win", length=4.0, gap=1.0, fire_selectivity=0.01,
+            assign_cost=1e-6, fire_cost=1e-6,
+        )
+    return LogicalGraph(
+        [
+            source("src", rate=RateSchedule.constant(rate)),
+            win,
+            sink("snk"),
+        ],
+        [Edge("src", "win"), Edge("win", "snk")],
+    )
+
+
+class TestWindowAcrossRedeploy:
+    def test_window_buffers_survive_rescale(self):
+        graph = window_pipeline()
+        runtime = FlinkRuntime(savepoint=SavepointModel.instant())
+        sim = Simulator(
+            PhysicalPlan(graph, {"win": 1}),
+            runtime,
+            EngineConfig(tick=0.1, track_record_latency=False),
+        )
+        sim.run_for(0.5)  # buffered records, no fire yet
+        buffered_before = sum(
+            inst.window.buffered for inst in sim._instances["win"]
+        )
+        assert buffered_before > 0
+        sim.rescale({"win": 3})
+        buffered_after = sum(
+            inst.window.buffered for inst in sim._instances["win"]
+        )
+        assert buffered_after == pytest.approx(
+            buffered_before, rel=1e-6
+        )
+
+    def test_fire_clock_realigned_after_redeploy(self):
+        graph = window_pipeline()
+        runtime = FlinkRuntime(savepoint=SavepointModel.instant())
+        sim = Simulator(
+            PhysicalPlan(graph, {"win": 1}),
+            runtime,
+            EngineConfig(tick=0.1, track_record_latency=False),
+        )
+        sim.run_for(2.55)
+        sim.rescale({"win": 2})
+        for inst in sim._instances["win"]:
+            # Next fire is the next slide boundary after the redeploy.
+            assert inst.window.next_fire == pytest.approx(3.0)
+
+    def test_session_window_keeps_flowing_after_rescale(self):
+        graph = window_pipeline(kind="session")
+        runtime = FlinkRuntime(savepoint=SavepointModel.instant())
+        sim = Simulator(
+            PhysicalPlan(graph, {"win": 1}),
+            runtime,
+            EngineConfig(tick=0.1, track_record_latency=False),
+        )
+        sim.run_for(10.0)
+        sim.collect_metrics()
+        sim.rescale({"win": 2})
+        sim.run_for(10.0)
+        window = sim.collect_metrics()
+        assert window.observed_output_rate("win") > 0
+
+
+class TestTimelyRescale:
+    def test_global_rescale_changes_all_operators(self):
+        graph = LogicalGraph(
+            [
+                source("src", rate=RateSchedule.constant(10_000.0)),
+                map_operator("m", costs=CostModel(processing_cost=1e-4)),
+                sink("snk"),
+            ],
+            [Edge("src", "m"), Edge("m", "snk")],
+        )
+        sim = Simulator(
+            PhysicalPlan(graph, {name: 2 for name in graph.names}),
+            TimelyRuntime(),
+            EngineConfig(tick=0.1, track_record_latency=False),
+        )
+        sim.run_for(5.0)
+        outage = sim.rescale({name: 4 for name in graph.names})
+        sim.run_for(outage + 1.0)
+        assert set(sim.plan.parallelism.values()) == {4}
+        # The new deployment still runs (budgets are per worker).
+        sim.collect_metrics()
+        sim.run_for(5.0)
+        window = sim.collect_metrics()
+        assert window.observed_processing_rate("m") > 0
+
+    def test_queued_records_survive_timely_rescale(self):
+        graph = LogicalGraph(
+            [
+                source("src", rate=RateSchedule.constant(50_000.0)),
+                map_operator("m", costs=CostModel(processing_cost=1e-4)),
+                sink("snk"),
+            ],
+            [Edge("src", "m"), Edge("m", "snk")],
+        )
+        sim = Simulator(
+            PhysicalPlan(graph, {name: 1 for name in graph.names}),
+            TimelyRuntime(savepoint=SavepointModel.instant()),
+            EngineConfig(tick=0.1, track_record_latency=False),
+        )
+        sim.run_for(5.0)  # under-provisioned: queue grows
+        queued = sim.queue_length("m")
+        assert queued > 0
+        sim.rescale({name: 8 for name in graph.names})
+        assert sim.queue_length("m") == pytest.approx(queued, rel=1e-6)
+
+
+class TestRateScheduleMidFlight:
+    def test_source_follows_schedule(self):
+        graph = LogicalGraph(
+            [
+                source(
+                    "src",
+                    rate=RateSchedule.phases([(0.0, 1000.0),
+                                              (5.0, 200.0)]),
+                ),
+                map_operator("m", costs=CostModel(processing_cost=1e-5)),
+                sink("snk"),
+            ],
+            [Edge("src", "m"), Edge("m", "snk")],
+        )
+        sim = Simulator(
+            PhysicalPlan(graph, {"m": 1}),
+            FlinkRuntime(),
+            EngineConfig(tick=0.1, track_record_latency=False),
+        )
+        sim.run_for(5.0)
+        first = sim.collect_metrics()
+        sim.run_for(5.0)
+        second = sim.collect_metrics()
+        assert first.source_observed_rates["src"] == pytest.approx(
+            1000.0, rel=0.02
+        )
+        assert second.source_observed_rates["src"] == pytest.approx(
+            200.0, rel=0.02
+        )
+
+
+class TestOutageMetrics:
+    def test_no_useful_work_during_outage(self):
+        graph = LogicalGraph(
+            [
+                source("src", rate=RateSchedule.constant(5000.0)),
+                map_operator("m", costs=CostModel(processing_cost=1e-4)),
+                sink("snk"),
+            ],
+            [Edge("src", "m"), Edge("m", "snk")],
+        )
+        sim = Simulator(
+            PhysicalPlan(graph, {"m": 1}),
+            FlinkRuntime(),
+            EngineConfig(tick=0.1, track_record_latency=False),
+        )
+        sim.run_for(2.0)
+        sim.collect_metrics()
+        outage = sim.rescale({"m": 2})
+        sim.run_for(min(outage - 1.0, 10.0))
+        window = sim.collect_metrics()
+        assert window.outage_fraction == 1.0
+        for counters in window.instances.values():
+            assert counters.useful_time == 0.0
+            assert counters.records_pulled == 0.0
+
+    def test_epoch_tracker_spans_outage(self):
+        graph = LogicalGraph(
+            [
+                source("src", rate=RateSchedule.constant(5000.0)),
+                map_operator("m", costs=CostModel(processing_cost=1e-5)),
+                sink("snk"),
+            ],
+            [Edge("src", "m"), Edge("m", "snk")],
+        )
+        sim = Simulator(
+            PhysicalPlan(graph, {"m": 1}),
+            FlinkRuntime(savepoint=SavepointModel(
+                base_seconds=3.0, snapshot_bandwidth=1e12,
+                redeploy_seconds=0.0,
+            )),
+            EngineConfig(
+                tick=0.1, track_record_latency=False, epoch_seconds=1.0
+            ),
+        )
+        sim.run_for(3.0)
+        sim.rescale({"m": 2})
+        sim.run_for(10.0)
+        dist = sim.epoch_latency.distribution
+        # Epochs interrupted by the outage complete late but complete.
+        assert sim.epoch_latency.pending_epochs <= 2
+        assert dist.quantile(1.0) >= 2.0

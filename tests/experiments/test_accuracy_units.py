@@ -1,0 +1,97 @@
+"""Fast unit tests of the accuracy/overhead harness plumbing, using a
+miniature query instead of the full-scale Nexmark calibrations."""
+
+import pytest
+
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    map_operator,
+    sink,
+    source,
+)
+from repro.errors import ReproError
+from repro.experiments.accuracy import (
+    measure_fixed_flink,
+    measure_fixed_timely,
+)
+from repro.workloads.nexmark.queries import NexmarkQuery
+
+
+def tiny_builder(rates, overhead, target):
+    """A 3-operator pipeline whose optimum is ~``target`` instances."""
+    rate = rates["bids"]
+    cost = (target) / (rate * (1 + overhead))
+    return LogicalGraph(
+        [
+            source("bids", rate=RateSchedule.constant(rate)),
+            map_operator("worker", costs=CostModel(processing_cost=cost)),
+            sink("sink"),
+        ],
+        [Edge("bids", "worker"), Edge("worker", "sink")],
+    )
+
+
+@pytest.fixture
+def tiny_query():
+    return NexmarkQuery(
+        name="QT",
+        description="tiny test query",
+        main_operator="worker",
+        flink_rates={"bids": 10_000.0},
+        timely_rates={"bids": 10_000.0},
+        indicated_flink=4,
+        indicated_timely=4,
+        _flink_builder=lambda rates: tiny_builder(rates, 0.08, 3.5),
+        _timely_builder=lambda rates: tiny_builder(rates, 0.15, 3.5),
+    )
+
+
+class TestMeasureFixedFlink:
+    def test_point_fields(self, tiny_query):
+        base = {"bids": 1, "worker": 4, "sink": 1}
+        point = measure_fixed_flink(
+            tiny_query, base, 4, duration=30.0, tick=0.1
+        )
+        assert point.query == "QT"
+        assert point.main_parallelism == 4
+        assert point.is_indicated
+        assert point.target_rate == pytest.approx(10_000.0)
+        assert point.sustains_target
+        assert len(point.latency) > 0
+
+    def test_underprovisioned_point(self, tiny_query):
+        base = {"bids": 1, "worker": 4, "sink": 1}
+        point = measure_fixed_flink(
+            tiny_query, base, 2, duration=30.0, tick=0.1
+        )
+        assert not point.is_indicated
+        assert not point.sustains_target
+        assert point.backpressured
+
+    def test_parallelism_floor(self, tiny_query):
+        base = {"bids": 1, "worker": 4, "sink": 1}
+        point = measure_fixed_flink(
+            tiny_query, base, 0, duration=5.0, tick=0.1
+        )
+        assert point.main_parallelism == 1
+
+
+class TestMeasureFixedTimely:
+    def test_keeps_up_at_indicated(self, tiny_query):
+        point = measure_fixed_timely(
+            tiny_query, 4, duration=30.0, tick=0.1
+        )
+        assert point.is_indicated
+        assert point.fraction_above_target < 0.1
+
+    def test_starves_below(self, tiny_query):
+        point = measure_fixed_timely(
+            tiny_query, 2, duration=30.0, tick=0.1
+        )
+        assert point.fraction_above_target > 0.5
+
+    def test_invalid_workers(self, tiny_query):
+        with pytest.raises(ReproError):
+            measure_fixed_timely(tiny_query, 0)

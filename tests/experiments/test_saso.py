@@ -1,0 +1,131 @@
+"""Unit and integration tests for SASO scoring."""
+
+import pytest
+
+from repro.core.controller import LoopResult, ScalingEvent
+from repro.errors import ReproError
+from repro.experiments.saso import SasoReport, score_operator, score_run
+
+
+def result_with(events):
+    result = LoopResult()
+    for time, applied in events:
+        result.events.append(
+            ScalingEvent(
+                time=time,
+                requested=dict(applied),
+                applied=dict(applied),
+                outage_seconds=0.0,
+            )
+        )
+    return result
+
+
+class TestScoreOperator:
+    def test_monotone_scale_up(self):
+        result = result_with([
+            (10.0, {"op": 4}),
+            (40.0, {"op": 7}),
+            (70.0, {"op": 8}),
+        ])
+        report = score_operator(result, "op", 1, optimal_parallelism=8)
+        assert report.total_actions == 3
+        assert report.stable
+        assert report.accurate
+        assert not report.overshot
+        assert report.settling_time == 70.0
+
+    def test_oscillation_detected(self):
+        result = result_with([
+            (10.0, {"op": 8}),
+            (40.0, {"op": 4}),
+            (70.0, {"op": 8}),
+            (100.0, {"op": 4}),
+        ])
+        report = score_operator(result, "op", 6)
+        assert report.direction_changes == 3
+        assert not report.stable
+
+    def test_overshoot_detected(self):
+        result = result_with([
+            (10.0, {"op": 12}),
+            (40.0, {"op": 8}),
+        ])
+        report = score_operator(result, "op", 1, optimal_parallelism=8)
+        assert report.overshot
+        assert report.overshoot_factor == pytest.approx(1.5)
+        # One reversal: up then down.
+        assert report.direction_changes == 1
+
+    def test_no_actions(self):
+        report = score_operator(LoopResult(), "op", 5,
+                                optimal_parallelism=5)
+        assert report.total_actions == 0
+        assert report.settling_time == 0.0
+        assert report.stable and report.accurate
+
+    def test_repeated_same_value_not_counted(self):
+        result = result_with([
+            (10.0, {"op": 4}),
+            (40.0, {"op": 4}),
+        ])
+        report = score_operator(result, "op", 1)
+        assert report.total_actions == 1
+
+    def test_accuracy_requires_optimum(self):
+        report = score_operator(LoopResult(), "op", 5)
+        with pytest.raises(ReproError):
+            report.accurate
+
+
+class TestScoreRun:
+    def test_scores_touched_operators(self):
+        result = result_with([
+            (10.0, {"a": 2, "b": 3}),
+        ])
+        reports = score_run(
+            result, {"a": 1, "b": 1}, {"a": 2, "b": 3}
+        )
+        assert set(reports) == {"a", "b"}
+        assert all(r.accurate for r in reports.values())
+
+    def test_unknown_operator_rejected(self):
+        result = result_with([(10.0, {"ghost": 2})])
+        with pytest.raises(ReproError):
+            score_run(result, {"a": 1}, operators=("ghost",))
+
+
+@pytest.mark.slow
+class TestSasoEndToEnd:
+    def test_ds2_satisfies_all_four_properties(self):
+        """The paper's framing, checked literally: DS2 on the Heron
+        wordcount is stable, accurate, fast, and never overshoots."""
+        from repro.experiments.comparison import run_ds2
+        from repro.workloads.wordcount import COUNT, FLATMAP
+
+        outcome = run_ds2(duration=420.0)
+        reports = score_run(
+            outcome.run.loop_result,
+            {FLATMAP: 1, COUNT: 1},
+            {FLATMAP: 10, COUNT: 20},
+        )
+        for report in reports.values():
+            assert report.stable
+            assert report.accurate
+            assert not report.overshot
+            assert report.settling_time <= 120.0
+
+    def test_dhalion_violates_accuracy(self):
+        from repro.experiments.comparison import run_dhalion
+        from repro.workloads.wordcount import COUNT, FLATMAP
+
+        outcome = run_dhalion(duration=3600.0)
+        reports = score_run(
+            outcome.run.loop_result,
+            {FLATMAP: 1, COUNT: 1},
+            {FLATMAP: 10, COUNT: 20},
+        )
+        # Over-provisioned end state on at least one operator, and
+        # settling took an order of magnitude longer than DS2.
+        assert not all(r.accurate for r in reports.values())
+        assert max(r.settling_time for r in reports.values()) > 1000.0

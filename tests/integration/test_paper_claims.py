@@ -1,0 +1,195 @@
+"""End-to-end tests of the paper's headline claims.
+
+Each test corresponds to a sentence in the paper's abstract or
+introduction and drives the full stack: workload -> engine ->
+instrumentation -> DS2 -> rescaling mechanism.
+"""
+
+import pytest
+
+from repro.core.controller import ControlLoop
+from repro.core.manager import DS2Controller, ManagerConfig
+from repro.core.policy import DS2Policy, ExecutionModel
+from repro.core import compute_optimal_parallelism
+from repro.dataflow.physical import PhysicalPlan
+from repro.engine.runtimes import (
+    FlinkRuntime,
+    HeronRuntime,
+    TimelyRuntime,
+)
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.workloads.nexmark import get_query
+from repro.workloads.wordcount import (
+    COUNT,
+    FLATMAP,
+    heron_wordcount_graph,
+    heron_wordcount_optimum,
+)
+
+
+class TestSingleStepClaim:
+    """'DS2 converges to the optimal, backpressure-free configuration
+    in a single step' (abstract, for the Heron wordcount)."""
+
+    def test_one_window_is_enough(self):
+        graph = heron_wordcount_graph()
+        plan = PhysicalPlan(graph, {name: 1 for name in graph.names})
+        sim = Simulator(
+            plan, HeronRuntime(),
+            EngineConfig(tick=0.5, track_record_latency=False),
+        )
+        sim.run_for(60.0)  # one default Heron metrics interval
+        window = sim.collect_metrics()
+        result = compute_optimal_parallelism(
+            graph, window, sim.source_target_rates()
+        )
+        optimum = heron_wordcount_optimum()
+        assert result.estimates[FLATMAP].optimal_parallelism == (
+            optimum[FLATMAP]
+        )
+        assert result.estimates[COUNT].optimal_parallelism == (
+            optimum[COUNT]
+        )
+
+    def test_decision_is_backpressure_free_and_minimal(self):
+        graph = heron_wordcount_graph()
+        optimum = heron_wordcount_optimum()
+
+        def run_fixed(flatmap, count):
+            plan = PhysicalPlan(
+                graph,
+                {"source": 1, FLATMAP: flatmap, COUNT: count, "sink": 1},
+            )
+            sim = Simulator(
+                plan, HeronRuntime(),
+                EngineConfig(tick=0.5, track_record_latency=False),
+            )
+            sim.run_for(400.0)
+            return sim
+
+        at_optimum = run_fixed(optimum[FLATMAP], optimum[COUNT])
+        assert at_optimum.backpressured_operators() == ()
+        # One instance less on either operator cannot keep up: queues
+        # grow without bound (Heron's huge queues absorb it for a while,
+        # so check backlog growth rather than the signal).
+        one_less = run_fixed(optimum[FLATMAP] - 1, optimum[COUNT])
+        assert (
+            one_less.total_queued_records()
+            > at_optimum.total_queued_records() * 2
+        )
+
+
+class TestAtMostThreeSteps:
+    """'In all experiments DS2 takes at most three steps to reach the
+    optimal configuration' (introduction)."""
+
+    @pytest.mark.parametrize("query_name", ["Q1", "Q2", "Q8"])
+    @pytest.mark.parametrize("initial", [8, 20])
+    def test_nexmark_flink(self, query_name, initial):
+        query = get_query(query_name)
+        graph = query.flink_graph()
+        plan = PhysicalPlan(
+            graph,
+            query.initial_parallelism(graph, initial),
+            max_parallelism=36,
+        )
+        sim = Simulator(
+            plan, FlinkRuntime(),
+            EngineConfig(tick=0.25, track_record_latency=False),
+        )
+        controller = DS2Controller(
+            DS2Policy(graph),
+            ManagerConfig(warmup_intervals=1, activation_intervals=5),
+        )
+        loop = ControlLoop(sim, controller, policy_interval=30.0)
+        result = loop.run(1200.0)
+        steps = result.scaling_steps
+        assert steps <= 3
+        assert (
+            sim.plan.parallelism_of(query.main_operator)
+            == query.indicated_flink
+        )
+        # The converged configuration sustains at least the full source
+        # rate (it may exceed it while draining the backlog the
+        # under-provisioned phases accumulated).
+        window = result.windows[-1]
+        achieved = sum(window.source_observed_rates.values())
+        target = sum(sim.source_target_rates().values())
+        assert achieved >= target * 0.98
+
+
+class TestTimelyGlobalScaling:
+    """Section 4.3: on Timely, DS2 sums per-operator optima into a
+    global worker count — 4 for every Nexmark query (Figure 9)."""
+
+    @pytest.mark.parametrize("query_name", ["Q1", "Q11"])
+    def test_worker_count(self, query_name):
+        query = get_query(query_name)
+        graph = query.timely_graph()
+        plan = PhysicalPlan(graph, {name: 2 for name in graph.names})
+        sim = Simulator(
+            plan, TimelyRuntime(),
+            EngineConfig(tick=0.25, track_record_latency=False),
+        )
+        controller = DS2Controller(
+            DS2Policy(graph, ExecutionModel.GLOBAL),
+            ManagerConfig(warmup_intervals=1, activation_intervals=3),
+        )
+        loop = ControlLoop(
+            sim, controller, policy_interval=30.0,
+            scalable_operators=graph.names,
+        )
+        loop.run(600.0)
+        assert sim.plan.parallelism_of(query.main_operator) == 4
+
+
+class TestStability:
+    """SASO stability: once converged, DS2 does not oscillate."""
+
+    def test_no_actions_after_convergence(self):
+        query = get_query("Q1")
+        graph = query.flink_graph()
+        plan = PhysicalPlan(
+            graph, query.initial_parallelism(graph, 12),
+            max_parallelism=36,
+        )
+        sim = Simulator(
+            plan, FlinkRuntime(),
+            EngineConfig(tick=0.25, track_record_latency=False),
+        )
+        controller = DS2Controller(
+            DS2Policy(graph),
+            ManagerConfig(warmup_intervals=1, activation_intervals=5),
+        )
+        loop = ControlLoop(sim, controller, policy_interval=30.0)
+        result = loop.run(2400.0)
+        events = result.events
+        assert events, "expected at least one scaling step"
+        # Nothing happens in the last half of the run.
+        last_action = events[-1].time
+        assert last_action < 1200.0
+
+    def test_monotone_convergence_no_overshoot(self):
+        """Scale-ups approach the optimum from below: no intermediate
+        decision exceeds the final configuration (Property 1)."""
+        query = get_query("Q3")
+        graph = query.flink_graph()
+        plan = PhysicalPlan(
+            graph, query.initial_parallelism(graph, 8),
+            max_parallelism=36,
+        )
+        sim = Simulator(
+            plan, FlinkRuntime(),
+            EngineConfig(tick=0.25, track_record_latency=False),
+        )
+        controller = DS2Controller(
+            DS2Policy(graph),
+            ManagerConfig(warmup_intervals=1, activation_intervals=5),
+        )
+        loop = ControlLoop(sim, controller, policy_interval=30.0)
+        result = loop.run(1500.0)
+        values = [
+            e.applied[query.main_operator] for e in result.events
+        ]
+        assert values == sorted(values)
+        assert values[-1] == query.indicated_flink

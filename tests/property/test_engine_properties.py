@@ -1,0 +1,164 @@
+"""Property-based tests of engine invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    flatmap,
+    sink,
+    source,
+)
+from repro.dataflow.physical import PhysicalPlan
+from repro.engine.allocation import fair_allocate
+from repro.engine.buffers import Queue
+from repro.engine.runtimes import FlinkRuntime
+from repro.engine.simulator import EngineConfig, Simulator
+
+
+class TestFairAllocateProperties:
+    @given(
+        total=st.floats(min_value=0.0, max_value=1e6),
+        desires=st.lists(
+            st.floats(min_value=0.0, max_value=1e5),
+            min_size=0,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_feasibility(self, total, desires):
+        allocation = fair_allocate(total, desires)
+        assert len(allocation) == len(desires)
+        # Never exceeds the shared capacity.
+        assert sum(allocation) <= total * (1 + 1e-9) + 1e-9
+        # Never exceeds any individual desire; never negative.
+        for granted, desired in zip(allocation, desires):
+            assert -1e-12 <= granted <= desired + 1e-9
+
+    @given(
+        total=st.floats(min_value=0.1, max_value=1e6),
+        desires=st.lists(
+            st.floats(min_value=0.1, max_value=1e5),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_work_conserving(self, total, desires):
+        """All of min(total, sum(desires)) is handed out."""
+        allocation = fair_allocate(total, desires)
+        expected = min(total, sum(desires))
+        assert sum(allocation) >= expected * (1 - 1e-9) - 1e-9
+
+    @given(
+        total=st.floats(min_value=0.1, max_value=100.0),
+        count=st.integers(min_value=2, max_value=10),
+        demand=st.floats(min_value=50.0, max_value=1000.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_equal_demands_get_equal_shares(self, total, count, demand):
+        allocation = fair_allocate(total, [demand] * count)
+        assert max(allocation) - min(allocation) < 1e-6
+
+
+class TestQueueProperties:
+    @given(
+        operations=st.lists(
+            st.tuples(st.booleans(), st.floats(min_value=0.0,
+                                               max_value=1000.0)),
+            max_size=60,
+        ),
+        capacity=st.one_of(
+            st.none(), st.floats(min_value=1.0, max_value=500.0)
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_conservation_under_random_operations(
+        self, operations, capacity
+    ):
+        queue = Queue(capacity=capacity)
+        for is_push, amount in operations:
+            if is_push:
+                queue.push(amount)
+            else:
+                queue.pop(amount)
+            queue.check_conservation()
+            assert queue.length >= 0
+            if capacity is not None:
+                assert queue.length <= capacity + 1e-9
+
+
+class TestSimulatorProperties:
+    @given(
+        rate=st.floats(min_value=100.0, max_value=50_000.0),
+        cost=st.floats(min_value=1e-5, max_value=1e-3),
+        parallelism=st.integers(min_value=1, max_value=8),
+        selectivity=st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_observed_never_exceeds_true_rates(
+        self, rate, cost, parallelism, selectivity
+    ):
+        """0 <= Wu <= W implies observed <= true for every instance —
+        the inequality section 3.2 of the paper derives."""
+        graph = LogicalGraph(
+            [
+                source("src", rate=RateSchedule.constant(rate)),
+                flatmap("op", costs=CostModel(processing_cost=cost),
+                        selectivity=selectivity),
+                sink("snk"),
+            ],
+            [Edge("src", "op"), Edge("op", "snk")],
+        )
+        sim = Simulator(
+            PhysicalPlan(graph, {"op": parallelism}),
+            FlinkRuntime(),
+            EngineConfig(tick=0.2, track_record_latency=False),
+        )
+        sim.run_for(8.0)
+        window = sim.collect_metrics()
+        for counters in window.instances.values():
+            assert counters.useful_time <= counters.observed_time + 1e-9
+            true_rate = counters.true_processing_rate
+            observed = counters.observed_processing_rate
+            if true_rate is not None and observed is not None:
+                assert observed <= true_rate * (1 + 1e-6)
+
+    @given(
+        rate=st.floats(min_value=100.0, max_value=20_000.0),
+        cost=st.floats(min_value=1e-5, max_value=1e-3),
+        parallelism=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_throughput_bounded_by_capacity_and_rate(
+        self, rate, cost, parallelism
+    ):
+        """The sink never consumes faster than min(source rate,
+        operator capacity)."""
+        graph = LogicalGraph(
+            [
+                source("src", rate=RateSchedule.constant(rate)),
+                flatmap("op", costs=CostModel(processing_cost=cost),
+                        selectivity=1.0),
+                sink("snk"),
+            ],
+            [Edge("src", "op"), Edge("op", "snk")],
+        )
+        sim = Simulator(
+            PhysicalPlan(graph, {"op": parallelism}),
+            FlinkRuntime(),
+            EngineConfig(
+                tick=0.2,
+                track_record_latency=False,
+                instrumentation_enabled=False,
+            ),
+        )
+        sim.run_for(10.0)
+        window = sim.collect_metrics()
+        throughput = window.observed_processing_rate("snk")
+        capacity = parallelism / cost
+        assert throughput <= min(rate, capacity) * 1.02 + 1.0

@@ -1,0 +1,86 @@
+"""Property-based tests for the scaling-curve learner."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.learning import ScalingCurve, ScalingCurveLearner
+from repro.engine.allocation import fair_allocate
+
+base_rates = st.floats(min_value=10.0, max_value=1e6)
+alphas = st.floats(min_value=0.0, max_value=0.2)
+
+
+@given(base_rate=base_rates, alpha=alphas)
+@settings(max_examples=150, deadline=None)
+def test_fit_recovers_exact_law(base_rate, alpha):
+    """Fitting noiseless samples of the law recovers its parameters."""
+    learner = ScalingCurveLearner()
+    for p in (1, 3, 7, 15, 31):
+        learner.observe(
+            "op", p, base_rate / (1 + alpha * (p - 1))
+        )
+    curve = learner.curve_for("op")
+    assert curve is not None
+    assert abs(curve.base_rate - base_rate) / base_rate < 1e-6
+    assert abs(curve.alpha - alpha) < 1e-6
+
+
+@given(
+    base_rate=base_rates,
+    alpha=alphas,
+    target_factor=st.floats(min_value=0.1, max_value=50.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_parallelism_for_is_minimal_and_sufficient(
+    base_rate, alpha, target_factor
+):
+    """``parallelism_for`` inverts the law exactly: p suffices and
+    p−1 does not (when reachable)."""
+    curve = ScalingCurve(
+        base_rate=base_rate, alpha=alpha, observations=5
+    )
+    target = base_rate * target_factor
+    p = curve.parallelism_for(target)
+    if p is None:
+        # Saturated: even huge parallelism cannot reach the target.
+        assert alpha > 0
+        assert base_rate / alpha <= target
+        return
+    assert p * curve.rate_at(p) >= target * (1 - 1e-9)
+    if p > 1:
+        assert (p - 1) * curve.rate_at(p - 1) < target * (1 + 1e-9)
+
+
+@given(
+    base_rate=base_rates,
+    alpha=alphas,
+    low=st.floats(min_value=1.0, max_value=1e5),
+    factor=st.floats(min_value=1.0, max_value=10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_parallelism_for_is_monotone(base_rate, alpha, low, factor):
+    curve = ScalingCurve(
+        base_rate=base_rate, alpha=alpha, observations=5
+    )
+    p_low = curve.parallelism_for(low)
+    p_high = curve.parallelism_for(low * factor)
+    if p_low is None:
+        assert p_high is None
+    elif p_high is not None:
+        assert p_high >= p_low
+
+
+@given(
+    total_a=st.floats(min_value=0.0, max_value=1e4),
+    extra=st.floats(min_value=0.0, max_value=1e4),
+    desires=st.lists(
+        st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=12
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_fair_allocate_monotone_in_total(total_a, extra, desires):
+    """More shared capacity never reduces anyone's allocation."""
+    first = fair_allocate(total_a, desires)
+    second = fair_allocate(total_a + extra, desires)
+    for a, b in zip(first, second):
+        assert b >= a - 1e-9

@@ -1,0 +1,224 @@
+"""Property-based tests of the DS2 model (paper section 3.4).
+
+Property 1 (no overshoot): under linear scaling, a scale-up decision
+never over-provisions — π is the minimum parallelism that sustains the
+target rate.
+
+Property 2 (no undershoot): a scale-down decision never
+under-provisions — π still sustains the target rate.
+
+Together they imply monotone, oscillation-free convergence.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import compute_optimal_parallelism
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    flatmap,
+    map_operator,
+    sink,
+    source,
+)
+from tests.conftest import make_window
+
+rates = st.floats(min_value=10.0, max_value=1e7)
+selectivities = st.floats(min_value=0.01, max_value=50.0)
+parallelisms = st.integers(min_value=1, max_value=64)
+#: Per-instance capacity as a fraction of the operator's target rate.
+#: Bounded below so recommendations stay within realistic cluster
+#: sizes (at most ~100 instances) — beyond that, building the
+#: re-evaluation window materializes millions of per-instance counters
+#: and the ceil of a 10^7-scale ratio flickers in the last float ulp.
+capacity_ratios = st.floats(min_value=0.01, max_value=10.0)
+
+
+def chain(selectivity):
+    return LogicalGraph(
+        [
+            source("src", rate=RateSchedule.constant(1.0)),
+            flatmap("a", costs=CostModel(processing_cost=1e-6),
+                    selectivity=selectivity),
+            map_operator("b", costs=CostModel(processing_cost=1e-6)),
+            sink("snk"),
+        ],
+        [Edge("src", "a"), Edge("a", "b"), Edge("b", "snk")],
+    )
+
+
+def window_with(graph, per_instance_rates, selectivity, parallelism):
+    """Every instance of ``a``/``b`` measured at the given true rate."""
+    counters = {}
+    for op in ("a", "b"):
+        rate = per_instance_rates[op]
+        sel = selectivity if op == "a" else 1.0
+        for index in range(parallelism[op]):
+            counters[(op, index)] = (rate, rate * sel, 1.0)
+    counters[("snk", 0)] = (1e9, 0.0, 1.0)
+    return make_window(counters)
+
+
+@given(
+    source_rate=rates,
+    ratio=capacity_ratios,
+    selectivity=selectivities,
+    current=parallelisms,
+)
+@settings(max_examples=150, deadline=None)
+def test_no_overshoot_and_no_undershoot(
+    source_rate, ratio, selectivity, current
+):
+    """π is the *minimum* parallelism sustaining the target under the
+    linear-scaling assumption: π·r >= target and (π−1)·r < target."""
+    per_instance = source_rate * max(selectivity, 1.0) * ratio
+    graph = chain(selectivity)
+    window = window_with(
+        graph,
+        {"a": per_instance, "b": per_instance},
+        selectivity,
+        {"a": current, "b": current},
+    )
+    result = compute_optimal_parallelism(
+        graph, window, {"src": source_rate}
+    )
+    for op, target in (
+        ("a", source_rate),
+        ("b", source_rate * selectivity),
+    ):
+        pi = result.estimates[op].optimal_parallelism
+        # Sustains the target (no undershoot):
+        assert pi * per_instance >= target * (1 - 1e-9)
+        # Minimal (no overshoot): one fewer instance would fall short.
+        if pi > 1:
+            assert (pi - 1) * per_instance < target * (1 + 1e-9)
+
+
+@given(
+    source_rate=rates,
+    ratio=capacity_ratios,
+    selectivity=selectivities,
+    current=parallelisms,
+)
+@settings(max_examples=100, deadline=None)
+def test_fixed_point_is_stable(
+    source_rate, ratio, selectivity, current
+):
+    """Re-evaluating the model at its own recommendation proposes the
+    same configuration again (no oscillation under linear scaling)."""
+    per_instance = source_rate * max(selectivity, 1.0) * ratio
+    graph = chain(selectivity)
+    window = window_with(
+        graph,
+        {"a": per_instance, "b": per_instance},
+        selectivity,
+        {"a": current, "b": current},
+    )
+    first = compute_optimal_parallelism(
+        graph, window, {"src": source_rate}
+    )
+    recommended = {
+        op: first.estimates[op].optimal_parallelism for op in ("a", "b")
+    }
+    window2 = window_with(
+        graph,
+        {"a": per_instance, "b": per_instance},
+        selectivity,
+        recommended,
+    )
+    second = compute_optimal_parallelism(
+        graph, window2, {"src": source_rate}
+    )
+    for op in ("a", "b"):
+        assert (
+            second.estimates[op].optimal_parallelism == recommended[op]
+        )
+
+
+@given(
+    source_rate=rates,
+    ratio=capacity_ratios,
+    factor=st.floats(min_value=1.0, max_value=10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_parallelism_monotone_in_target_rate(
+    source_rate, ratio, factor
+):
+    """A higher target rate never yields a lower π."""
+    per_instance = source_rate * ratio
+    graph = chain(1.0)
+    window = window_with(
+        graph, {"a": per_instance, "b": per_instance}, 1.0,
+        {"a": 1, "b": 1},
+    )
+    low = compute_optimal_parallelism(graph, window, {"src": source_rate})
+    high = compute_optimal_parallelism(
+        graph, window, {"src": source_rate * factor}
+    )
+    for op in ("a", "b"):
+        assert (
+            high.estimates[op].optimal_parallelism
+            >= low.estimates[op].optimal_parallelism
+        )
+
+
+@given(
+    source_rate=rates,
+    ratio=capacity_ratios,
+    compensation=st.floats(min_value=1.0, max_value=2.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_compensation_never_reduces_parallelism(
+    source_rate, ratio, compensation
+):
+    per_instance = source_rate * ratio
+    graph = chain(1.0)
+    window = window_with(
+        graph, {"a": per_instance, "b": per_instance}, 1.0,
+        {"a": 1, "b": 1},
+    )
+    plain = compute_optimal_parallelism(
+        graph, window, {"src": source_rate}
+    )
+    boosted = compute_optimal_parallelism(
+        graph, window, {"src": source_rate},
+        rate_compensation=compensation,
+    )
+    for op in ("a", "b"):
+        assert (
+            boosted.estimates[op].optimal_parallelism
+            >= plain.estimates[op].optimal_parallelism
+        )
+
+
+@given(
+    ratio=capacity_ratios,
+    source_rate=rates,
+    current=parallelisms,
+)
+@settings(max_examples=100, deadline=None)
+def test_global_parallelism_bounds(ratio, source_rate, current):
+    """The Timely worker count is at least the largest single-operator
+    requirement and at most the sum of ceilings."""
+    per_instance = source_rate * ratio
+    graph = chain(1.0)
+    window = window_with(
+        graph, {"a": per_instance, "b": per_instance}, 1.0,
+        {"a": current, "b": current},
+    )
+    result = compute_optimal_parallelism(
+        graph, window, {"src": source_rate}
+    )
+    per_op = [
+        est.optimal_parallelism for est in result.estimates.values()
+    ]
+    total = result.global_parallelism()
+    assert total >= max(
+        math.ceil(est.optimal_parallelism_raw - 1e-9)
+        for est in result.estimates.values()
+    )
+    assert total <= sum(per_op)

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_help_without_command(self, capsys):
+        assert main([]) == 1
+        out = capsys.readouterr().out
+        assert "repro" in out
+
+    def test_list_queries(self, capsys):
+        assert main(["list-queries"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Q1", "Q5", "Q11", "Q4", "Q9"):
+            assert name in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_scale_argument_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig7", "--scale", "0.25"])
+        assert args.experiment == "fig7"
+        assert args.scale == 0.25
+
+
+class TestCommands:
+    def test_decide_prints_optimum(self, capsys):
+        assert main(["decide"]) == 0
+        out = capsys.readouterr().out
+        assert "flatmap" in out and "10" in out
+        assert "count" in out and "20" in out
+
+    @pytest.mark.slow
+    def test_run_skew_scaled_down(self, capsys):
+        assert main(["run", "skew", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "50%" in out
+        assert "no-skew optimum" in out

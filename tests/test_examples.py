@@ -1,0 +1,52 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+The heavier examples are exercised with scaled-down parameters by
+calling their building blocks; the quickstart runs verbatim.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+class TestExampleScripts:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "dynamic_scaling.py",
+            "dhalion_comparison.py",
+            "nexmark_convergence.py",
+            "skew_and_baselines.py",
+        } <= names
+
+    @pytest.mark.slow
+    def test_quickstart_runs_verbatim(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "flatmap=10, count=20" in proc.stdout
+
+    def test_strip_chart_renders(self):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            from dynamic_scaling import strip_chart
+        finally:
+            sys.path.pop(0)
+        chart = strip_chart(
+            [(float(t), float(t % 7)) for t in range(100)],
+            width=40,
+            height=5,
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 7
+        assert any("#" in line for line in lines)
+        assert strip_chart([]) == "(no samples)"

@@ -1,0 +1,53 @@
+"""Tests of the package's public surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    EngineError,
+    GraphError,
+    MetricsError,
+    PlanError,
+    PolicyError,
+    ReconfigurationError,
+    ReproError,
+)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_core_entry_points(self):
+        assert callable(repro.compute_optimal_parallelism)
+        assert repro.DS2Controller.name == "ds2"
+
+    def test_subpackages_importable(self):
+        import repro.core.baselines
+        import repro.dataflow.windowing
+        import repro.engine.allocation
+        import repro.experiments.accuracy
+        import repro.experiments.comparison
+        import repro.experiments.convergence
+        import repro.experiments.dynamic
+        import repro.experiments.overhead
+        import repro.experiments.skew_experiment
+        import repro.workloads.nexmark.semantics
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        GraphError, PlanError, EngineError, PolicyError,
+        MetricsError, ReconfigurationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise GraphError("x")

@@ -1,0 +1,139 @@
+"""Unit tests for the extended Nexmark queries (Q4/Q6/Q7/Q9)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.nexmark.generator import (
+    GeneratorConfig,
+    NexmarkGenerator,
+)
+from repro.workloads.nexmark.model import Auction, Bid
+from repro.workloads.nexmark.queries_ext import (
+    EXTENDED_QUERIES,
+    get_extended_query,
+)
+from repro.workloads.nexmark.semantics_ext import (
+    q4_average_price_per_category,
+    q6_average_selling_price_by_seller,
+    q7_highest_bid_per_period,
+    q9_winning_bids,
+)
+
+
+def auction(aid, seller=1, category=10, reserve=10.0, expires=100.0):
+    return Auction(id=aid, seller=seller, category=category,
+                   initial_bid=1.0, reserve=reserve, expires=expires,
+                   timestamp=0.0)
+
+
+def bid(aid, price, timestamp=1.0, bidder=1):
+    return Bid(auction=aid, bidder=bidder, price=price,
+               timestamp=timestamp)
+
+
+class TestQ9:
+    def test_highest_valid_bid_wins(self):
+        auctions = [auction(1)]
+        bids = [bid(1, 20.0), bid(1, 50.0), bid(1, 30.0)]
+        winners = q9_winning_bids(auctions, bids)
+        assert len(winners) == 1
+        assert winners[0].bid.price == 50.0
+
+    def test_reserve_price_enforced(self):
+        auctions = [auction(1, reserve=100.0)]
+        bids = [bid(1, 50.0)]
+        assert q9_winning_bids(auctions, bids) == []
+
+    def test_late_bids_excluded(self):
+        auctions = [auction(1, expires=10.0)]
+        bids = [bid(1, 500.0, timestamp=11.0)]
+        assert q9_winning_bids(auctions, bids) == []
+
+    def test_ties_go_to_earliest(self):
+        auctions = [auction(1)]
+        bids = [
+            bid(1, 50.0, timestamp=2.0, bidder=2),
+            bid(1, 50.0, timestamp=1.0, bidder=1),
+        ]
+        winners = q9_winning_bids(auctions, bids)
+        assert winners[0].bid.bidder == 1
+
+    def test_generator_stream_produces_winners(self):
+        generator = NexmarkGenerator(GeneratorConfig(seed=11))
+        events = generator.take(20_000)
+        auctions = [e for e in events if isinstance(e, Auction)]
+        bids = [e for e in events if isinstance(e, Bid)]
+        winners = q9_winning_bids(auctions, bids)
+        # Most auctions receive at least one valid bid.
+        assert len(winners) > len(auctions) * 0.3
+
+
+class TestQ4:
+    def test_average_per_category(self):
+        auctions = [
+            auction(1, category=10),
+            auction(2, category=10),
+            auction(3, category=11),
+        ]
+        bids = [bid(1, 100.0), bid(2, 200.0), bid(3, 50.0)]
+        averages = q4_average_price_per_category(auctions, bids)
+        assert averages[10] == pytest.approx(150.0)
+        assert averages[11] == pytest.approx(50.0)
+
+    def test_empty(self):
+        assert q4_average_price_per_category([], []) == {}
+
+
+class TestQ6:
+    def test_last_n_window(self):
+        auctions = [
+            auction(i, seller=1, expires=float(i)) for i in range(1, 5)
+        ]
+        bids = [
+            bid(i, price=float(i * 100), timestamp=0.5)
+            for i in range(1, 5)
+        ]
+        averages = q6_average_selling_price_by_seller(
+            auctions, bids, last_n=2
+        )
+        # Last two closed auctions: 300 and 400.
+        assert averages[1] == pytest.approx(350.0)
+
+
+class TestQ7:
+    def test_highest_per_period(self):
+        bids = [
+            bid(1, 10.0, timestamp=1.0),
+            bid(1, 99.0, timestamp=5.0),
+            bid(1, 50.0, timestamp=15.0),
+        ]
+        result = q7_highest_bid_per_period(bids, period=10.0)
+        assert result[0][1].price == 99.0
+        assert result[1][1].price == 50.0
+
+    def test_empty(self):
+        assert q7_highest_bid_per_period([]) == []
+
+
+class TestExtendedDataflows:
+    def test_registry(self):
+        assert [q.name for q in EXTENDED_QUERIES] == [
+            "Q4", "Q6", "Q7", "Q9",
+        ]
+        assert get_extended_query("q7").main_operator == "period_max"
+        with pytest.raises(ReproError):
+            get_extended_query("Q5")  # paper queries live elsewhere
+
+    @pytest.mark.parametrize(
+        "query", EXTENDED_QUERIES, ids=lambda q: q.name
+    )
+    def test_graphs_valid_on_both_runtimes(self, query):
+        flink = query.flink_graph()
+        timely = query.timely_graph()
+        assert query.main_operator in flink.names
+        assert set(flink.sources()) == set(query.flink_rates)
+        assert set(timely.sources()) == set(query.timely_rates)
+
+    def test_q9_join_arity(self):
+        graph = get_extended_query("Q9").flink_graph()
+        assert len(graph.upstream("winning_bids")) == 2

@@ -1,0 +1,132 @@
+"""Unit tests for the Nexmark event model and generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.nexmark.generator import (
+    AUCTION_PROPORTION,
+    BID_PROPORTION,
+    GeneratorConfig,
+    NexmarkGenerator,
+    PERSON_PROPORTION,
+    TOTAL_PROPORTION,
+)
+from repro.workloads.nexmark.model import (
+    Auction,
+    Bid,
+    EventKind,
+    Person,
+    kind_of,
+)
+
+
+class TestModel:
+    def test_person_validation(self):
+        with pytest.raises(ReproError):
+            Person(id=-1, name="x", email="x", city="x", state="OR",
+                   timestamp=0.0)
+
+    def test_auction_expiry_validation(self):
+        with pytest.raises(ReproError):
+            Auction(id=1, seller=1, category=10, initial_bid=1.0,
+                    reserve=2.0, expires=0.0, timestamp=5.0)
+
+    def test_bid_validation(self):
+        with pytest.raises(ReproError):
+            Bid(auction=1, bidder=1, price=-5.0, timestamp=0.0)
+
+    def test_kind_of(self):
+        generator = NexmarkGenerator()
+        events = generator.take(50)
+        kinds = {kind_of(e) for e in events}
+        assert kinds == {
+            EventKind.PERSON, EventKind.AUCTION, EventKind.BID
+        }
+
+    def test_kind_of_rejects_non_event(self):
+        with pytest.raises(ReproError):
+            kind_of("not an event")
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = NexmarkGenerator(GeneratorConfig(seed=1)).take(500)
+        b = NexmarkGenerator(GeneratorConfig(seed=1)).take(500)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = NexmarkGenerator(GeneratorConfig(seed=1)).take(500)
+        b = NexmarkGenerator(GeneratorConfig(seed=2)).take(500)
+        assert a != b
+
+    def test_beam_proportions(self):
+        events = NexmarkGenerator().take(TOTAL_PROPORTION * 100)
+        persons = sum(1 for e in events if isinstance(e, Person))
+        auctions = sum(1 for e in events if isinstance(e, Auction))
+        bids = sum(1 for e in events if isinstance(e, Bid))
+        assert persons == PERSON_PROPORTION * 100
+        assert auctions == AUCTION_PROPORTION * 100
+        assert bids == BID_PROPORTION * 100
+
+    def test_timestamps_monotone_at_rate(self):
+        generator = NexmarkGenerator(
+            GeneratorConfig(events_per_second=100.0)
+        )
+        events = generator.take(200)
+        stamps = [e.timestamp for e in events]
+        assert stamps == sorted(stamps)
+        assert stamps[100] == pytest.approx(1.0)
+
+    def test_bids_reference_existing_auctions(self):
+        generator = NexmarkGenerator()
+        events = generator.take(5000)
+        auction_ids = {e.id for e in events if isinstance(e, Auction)}
+        bids = [e for e in events if isinstance(e, Bid)]
+        referenced = sum(1 for b in bids if b.auction in auction_ids)
+        assert referenced / len(bids) > 0.99
+
+    def test_auctions_reference_existing_sellers(self):
+        generator = NexmarkGenerator()
+        events = generator.take(5000)
+        person_ids = {e.id for e in events if isinstance(e, Person)}
+        auctions = [e for e in events if isinstance(e, Auction)]
+        referenced = sum(
+            1 for a in auctions if a.seller in person_ids
+        )
+        assert referenced / len(auctions) > 0.9
+
+    def test_hot_auction_skew(self):
+        generator = NexmarkGenerator(
+            GeneratorConfig(hot_auction_ratio=0.9, seed=3)
+        )
+        bids = generator.bids(2000)
+        from collections import Counter
+        counts = Counter(b.auction for b in bids)
+        top_share = counts.most_common(1)[0][1] / len(bids)
+        # With 90% hot ratio the hottest auctions dominate; the "hot"
+        # auction rotates as new auctions appear, so any single id's
+        # share is smaller but still far above uniform.
+        assert top_share > 0.01
+
+    def test_typed_takes(self):
+        generator = NexmarkGenerator()
+        assert len(generator.persons(10)) == 10
+        assert len(generator.auctions(10)) == 10
+        assert len(generator.bids(10)) == 10
+
+    def test_take_rejects_negative(self):
+        with pytest.raises(ReproError):
+            NexmarkGenerator().take(-1)
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            GeneratorConfig(events_per_second=0.0)
+        with pytest.raises(ReproError):
+            GeneratorConfig(hot_auction_ratio=1.5)
+
+    def test_stream_is_endless(self):
+        generator = NexmarkGenerator()
+        stream = generator.stream()
+        first = next(stream)
+        second = next(stream)
+        assert first is not second

@@ -1,0 +1,139 @@
+"""Unit tests for the simulated Nexmark query dataflows."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.nexmark.queries import (
+    ALL_QUERIES,
+    ALPHA,
+    FLINK_OVERHEAD,
+    NexmarkQuery,
+    calibrated_cost,
+    get_query,
+)
+
+
+class TestRegistry:
+    def test_six_queries(self):
+        assert [q.name for q in ALL_QUERIES] == [
+            "Q1", "Q2", "Q3", "Q5", "Q8", "Q11",
+        ]
+
+    def test_get_query_case_insensitive(self):
+        assert get_query("q5").name == "Q5"
+
+    def test_get_query_unknown(self):
+        with pytest.raises(ReproError):
+            get_query("Q99")
+
+    def test_paper_indicated_parallelism(self):
+        indicated = {
+            q.name: q.indicated_flink for q in ALL_QUERIES
+        }
+        # Figure 8 captions.
+        assert indicated == {
+            "Q1": 16, "Q2": 14, "Q3": 20, "Q5": 16, "Q8": 10, "Q11": 28,
+        }
+        assert all(q.indicated_timely == 4 for q in ALL_QUERIES)
+
+    def test_table3_rates(self):
+        q3 = get_query("Q3")
+        assert q3.flink_rates == {
+            "auctions": 500_000, "persons": 100_000,
+        }
+        assert q3.timely_rates == {
+            "auctions": 3_000_000, "persons": 800_000,
+        }
+        assert get_query("Q1").flink_rates == {"bids": 4_000_000}
+
+
+class TestGraphs:
+    @pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.name)
+    def test_flink_graph_is_valid(self, query):
+        graph = query.flink_graph()
+        assert query.main_operator in graph.names
+        assert graph.sources()
+        assert graph.sinks()
+        assert set(graph.sources()) == set(query.flink_rates)
+
+    @pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.name)
+    def test_timely_graph_is_valid(self, query):
+        graph = query.timely_graph()
+        assert set(graph.sources()) == set(query.timely_rates)
+
+    def test_q3_has_join_with_two_inputs(self):
+        graph = get_query("Q3").flink_graph()
+        assert len(graph.upstream("incremental_join")) == 2
+
+    def test_q8_window_join_has_two_inputs(self):
+        graph = get_query("Q8").flink_graph()
+        assert len(graph.upstream("window_join")) == 2
+
+    def test_window_queries_have_window_specs(self):
+        for name, kind in (("Q5", "sliding"), ("Q8", "tumbling"),
+                           ("Q11", "session")):
+            query = get_query(name)
+            graph = query.flink_graph()
+            spec = graph.operator(query.main_operator)
+            assert spec.window is not None
+            assert spec.window.kind.value == kind
+
+    def test_initial_parallelism_only_scales_scalable(self):
+        query = get_query("Q3")
+        graph = query.flink_graph()
+        initial = query.initial_parallelism(graph, 12)
+        assert initial["incremental_join"] == 12
+        assert initial["persons"] == 1
+        assert initial["sink"] == 1
+
+    def test_rate_override(self):
+        query = get_query("Q1")
+        graph = query.flink_graph(rates={"bids": 1000.0})
+        assert graph.operator("bids").rate.rate_at(0.0) == 1000.0
+
+
+class TestCalibration:
+    def test_calibrated_cost_inverts_the_model(self):
+        rate = 1_000_000.0
+        cost = calibrated_cost(rate, 15.5)
+        p_ref = 16
+        required = (
+            rate * cost * (1 + ALPHA * (p_ref - 1)) * (1 + FLINK_OVERHEAD)
+        )
+        assert required == pytest.approx(15.5)
+        assert math.ceil(required) == 16
+
+    def test_calibrated_cost_validation(self):
+        with pytest.raises(ReproError):
+            calibrated_cost(0.0, 4.0)
+        with pytest.raises(ReproError):
+            calibrated_cost(1000.0, 0.0)
+
+    @pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.name)
+    def test_main_operator_requirement_matches_indication(self, query):
+        """The steady-state work requirement of the main operator (per
+        Eq. 7 with true rates = 1/cost) lands exactly on the paper's
+        indicated parallelism."""
+        graph = query.flink_graph()
+        spec = graph.operator(query.main_operator)
+        arrival = 0.0
+        for up in graph.upstream(query.main_operator):
+            up_spec = graph.operator(up)
+            if up_spec.is_source:
+                arrival += query.flink_rates[up]
+            else:
+                # One filter level is enough for these graphs.
+                parent = graph.upstream(up)[0]
+                arrival += (
+                    query.flink_rates[parent]
+                    * up_spec.long_run_selectivity
+                )
+        p = query.indicated_flink
+        coordination = 1 + spec.costs.coordination_alpha * (p - 1)
+        per_record = spec.per_record_cost()
+        required = (
+            arrival * per_record * coordination * (1 + FLINK_OVERHEAD)
+        )
+        assert math.ceil(required - 1e-9) == p

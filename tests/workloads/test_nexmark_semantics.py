@@ -1,0 +1,158 @@
+"""Unit tests for the reference Nexmark query implementations."""
+
+import pytest
+
+from repro.workloads.nexmark.generator import (
+    GeneratorConfig,
+    NexmarkGenerator,
+)
+from repro.workloads.nexmark.model import (
+    Auction,
+    Bid,
+    Person,
+    Q3_CATEGORY,
+    USD_TO_EUR,
+)
+from repro.workloads.nexmark.semantics import (
+    measured_selectivity,
+    q1_currency_conversion,
+    q2_selection,
+    q3_local_item_suggestion,
+    q5_hot_items,
+    q8_monitor_new_users,
+    q11_user_sessions,
+)
+
+
+def bid(auction=1, bidder=1, price=100.0, timestamp=0.0):
+    return Bid(auction=auction, bidder=bidder, price=price,
+               timestamp=timestamp)
+
+
+def person(pid, state="OR", timestamp=0.0):
+    return Person(id=pid, name=f"p{pid}", email="e", city="c",
+                  state=state, timestamp=timestamp)
+
+
+def auction(aid, seller, category=Q3_CATEGORY, timestamp=0.0):
+    return Auction(id=aid, seller=seller, category=category,
+                   initial_bid=1.0, reserve=1.0,
+                   expires=timestamp + 60.0, timestamp=timestamp)
+
+
+class TestQ1:
+    def test_converts_prices(self):
+        result = q1_currency_conversion([bid(price=100.0)])
+        assert result[0].price_eur == pytest.approx(100.0 * USD_TO_EUR)
+
+    def test_selectivity_exactly_one(self):
+        bids = [bid(price=p) for p in (1.0, 2.0, 3.0)]
+        assert len(q1_currency_conversion(bids)) == len(bids)
+
+
+class TestQ2:
+    def test_keeps_only_matching_auctions(self):
+        bids = [bid(auction=a) for a in (0, 1, 123, 246, 300)]
+        selected = q2_selection(bids, auction_modulo=123)
+        assert [b.auction for b in selected] == [0, 123, 246]
+
+    def test_selectivity_near_1_over_123(self):
+        generator = NexmarkGenerator(GeneratorConfig(seed=5))
+        bids = generator.bids(20_000)
+        selected = q2_selection(bids)
+        ratio = measured_selectivity(len(bids), len(selected))
+        assert ratio < 0.05  # far below 1, in the ballpark of 1/123
+
+
+class TestQ3:
+    def test_joins_local_sellers_with_category(self):
+        persons = [person(1, "OR"), person(2, "NY")]
+        auctions = [
+            auction(10, seller=1),                    # match
+            auction(11, seller=2),                    # wrong state
+            auction(12, seller=1, category=15),       # wrong category
+        ]
+        listings = q3_local_item_suggestion(persons, auctions)
+        assert len(listings) == 1
+        assert listings[0].auction_id == 10
+        assert listings[0].state == "OR"
+
+    def test_empty_inputs(self):
+        assert q3_local_item_suggestion([], []) == []
+
+
+class TestQ5:
+    def test_hottest_auction_per_window(self):
+        bids = [
+            bid(auction=1, timestamp=0.5),
+            bid(auction=1, timestamp=1.0),
+            bid(auction=2, timestamp=1.5),
+        ]
+        result = q5_hot_items(bids, window=2.0, slide=2.0)
+        window_end, hottest = result[0]
+        assert window_end == 2.0
+        assert hottest == [1]
+
+    def test_ties_reported_together(self):
+        bids = [
+            bid(auction=1, timestamp=0.1),
+            bid(auction=2, timestamp=0.2),
+        ]
+        result = q5_hot_items(bids, window=2.0, slide=2.0)
+        assert result[0][1] == [1, 2]
+
+    def test_empty(self):
+        assert q5_hot_items([]) == []
+
+
+class TestQ8:
+    def test_matches_same_window_registration_and_auction(self):
+        persons = [person(1, timestamp=1.0), person(2, timestamp=15.0)]
+        auctions = [
+            auction(10, seller=1, timestamp=2.0),   # same window as p1
+            auction(11, seller=2, timestamp=5.0),   # before p2 registers
+        ]
+        result = q8_monitor_new_users(persons, auctions, window=10.0)
+        matched = {pid for _, pids in result for pid in pids}
+        assert matched == {1}
+
+    def test_empty(self):
+        assert q8_monitor_new_users([], []) == []
+
+
+class TestQ11:
+    def test_sessions_split_on_gap(self):
+        bids = [
+            bid(bidder=1, timestamp=0.0),
+            bid(bidder=1, timestamp=1.0),
+            bid(bidder=1, timestamp=10.0),  # > 2 s gap: new session
+        ]
+        sessions = q11_user_sessions(bids, gap=2.0)
+        assert len(sessions[1]) == 2
+        assert sessions[1][0] == (0.0, 1.0, 2)
+        assert sessions[1][1] == (10.0, 10.0, 1)
+
+    def test_per_user_isolation(self):
+        bids = [
+            bid(bidder=1, timestamp=0.0),
+            bid(bidder=2, timestamp=0.5),
+        ]
+        sessions = q11_user_sessions(bids, gap=2.0)
+        assert set(sessions) == {1, 2}
+
+    def test_session_counts_conserve_bids(self):
+        generator = NexmarkGenerator(GeneratorConfig(seed=9))
+        bids = generator.bids(2000)
+        sessions = q11_user_sessions(bids, gap=2.0)
+        total = sum(
+            count
+            for user_sessions in sessions.values()
+            for _, _, count in user_sessions
+        )
+        assert total == len(bids)
+
+
+class TestMeasuredSelectivity:
+    def test_guarded_division(self):
+        assert measured_selectivity(0, 5) == 0.0
+        assert measured_selectivity(10, 5) == 0.5

@@ -1,0 +1,82 @@
+"""Unit tests for the wordcount workload definitions."""
+
+import pytest
+
+from repro.workloads.wordcount import (
+    COUNT,
+    FLATMAP,
+    HERON_COUNT_LIMIT,
+    HERON_FLATMAP_LIMIT,
+    HERON_SOURCE_RATE,
+    SINK,
+    SOURCE,
+    WORDS_PER_SENTENCE,
+    flink_wordcount_graph,
+    flink_wordcount_initial_parallelism,
+    heron_wordcount_graph,
+    heron_wordcount_optimum,
+)
+
+
+class TestHeronVariant:
+    def test_graph_shape(self):
+        graph = heron_wordcount_graph()
+        assert graph.topological_order() == (
+            SOURCE, FLATMAP, COUNT, SINK
+        )
+        assert graph.sources() == (SOURCE,)
+        assert graph.sinks() == (SINK,)
+
+    def test_rate_limits_match_dhalion_benchmark(self):
+        graph = heron_wordcount_graph()
+        assert graph.operator(FLATMAP).rate_limit == pytest.approx(
+            HERON_FLATMAP_LIMIT
+        )
+        assert graph.operator(COUNT).rate_limit == pytest.approx(
+            HERON_COUNT_LIMIT
+        )
+
+    def test_optimum_is_consistent_with_limits(self):
+        # The documented optimum must follow from the rate arithmetic:
+        # ceil(source / flatmap_limit) and
+        # ceil(source * words_per_sentence / count_limit).
+        optimum = heron_wordcount_optimum()
+        assert optimum[FLATMAP] == 10
+        assert optimum[COUNT] == 20
+        assert HERON_SOURCE_RATE / HERON_FLATMAP_LIMIT == pytest.approx(
+            optimum[FLATMAP]
+        )
+        assert (
+            HERON_SOURCE_RATE * WORDS_PER_SENTENCE / HERON_COUNT_LIMIT
+        ) == pytest.approx(optimum[COUNT])
+
+    def test_rate_limit_dominates_cpu_cost(self):
+        graph = heron_wordcount_graph()
+        spec = graph.operator(FLATMAP)
+        assert spec.per_record_cost() == pytest.approx(
+            1.0 / HERON_FLATMAP_LIMIT
+        )
+
+
+class TestFlinkVariant:
+    def test_two_phase_schedule(self):
+        graph = flink_wordcount_graph(phase_seconds=600.0)
+        schedule = graph.operator(SOURCE).rate
+        assert schedule.rate_at(0.0) == 2_000_000.0
+        assert schedule.rate_at(599.0) == 2_000_000.0
+        assert schedule.rate_at(600.0) == 1_000_000.0
+
+    def test_initial_parallelism_matches_figure7(self):
+        initial = flink_wordcount_initial_parallelism()
+        assert initial[FLATMAP] == 10
+        assert initial[COUNT] == 5
+
+    def test_scaling_is_sublinear(self):
+        graph = flink_wordcount_graph()
+        costs = graph.operator(FLATMAP).costs
+        assert costs.coordination_alpha > 0
+        assert costs.effective_cost(20) > costs.effective_cost(10)
+
+    def test_count_accumulates_state(self):
+        graph = flink_wordcount_graph()
+        assert graph.operator(COUNT).state_bytes_per_record > 0
