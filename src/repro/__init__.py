@@ -18,7 +18,10 @@ This library contains:
 * ``repro.workloads`` — the wordcount (Dhalion benchmark) and Nexmark
   workloads used in the paper's evaluation;
 * ``repro.experiments`` — harnesses regenerating every table and figure
-  of the paper's evaluation section.
+  of the paper's evaluation section;
+* ``repro.faults`` — deterministic fault injection (instance crashes,
+  metric dropout/lag/corruption, failed rescales) for exercising the
+  hardened control path.
 
 See ``examples/quickstart.py`` for a complete end-to-end run.
 """
@@ -40,6 +43,7 @@ from repro.engine import (
     Simulator,
     TimelyRuntime,
 )
+from repro.faults import FaultInjector, FaultSchedule, parse_faults
 from repro.metrics import InstanceCounters, MetricsWindow
 
 __version__ = "1.0.0"
@@ -51,6 +55,8 @@ __all__ = [
     "DS2Policy",
     "EngineConfig",
     "ExecutionModel",
+    "FaultInjector",
+    "FaultSchedule",
     "FlinkRuntime",
     "HeronRuntime",
     "InstanceCounters",
@@ -61,5 +67,6 @@ __all__ = [
     "Simulator",
     "TimelyRuntime",
     "compute_optimal_parallelism",
+    "parse_faults",
     "__version__",
 ]

@@ -117,12 +117,42 @@ def _run_skew(scale: float) -> str:
     )
 
 
+def _run_faults(
+    scale: float,
+    faults: Optional[str] = None,
+    fault_seed: int = 1,
+) -> str:
+    from repro.experiments.fault_tolerance import (
+        default_fault_schedule,
+        fault_tolerance_report,
+        run_dhalion_faults,
+        run_ds2_faults,
+    )
+    from repro.faults import parse_faults
+
+    # The campaign's fault times are absolute, so the duration stays
+    # fixed; --scale below 1 coarsens the tick instead.
+    tick = 0.5 if scale >= 1.0 else 1.0
+    schedule = (
+        parse_faults(faults, seed=fault_seed)
+        if faults is not None
+        else default_fault_schedule(fault_seed)
+    )
+    results = [
+        run_ds2_faults(tick=tick, hardened=True, schedule=schedule),
+        run_ds2_faults(tick=tick, hardened=False, schedule=schedule),
+        run_dhalion_faults(tick=tick, schedule=schedule),
+    ]
+    return fault_tolerance_report(results)
+
+
 EXPERIMENTS: Dict[str, Callable[[float], str]] = {
     "fig6": _run_fig6,
     "fig7": _run_fig7,
     "table4": _run_table4,
     "fig9": _run_fig9,
     "skew": _run_skew,
+    "faults": _run_faults,
 }
 
 EXPERIMENT_DESCRIPTIONS = {
@@ -131,6 +161,7 @@ EXPERIMENT_DESCRIPTIONS = {
     "table4": "Nexmark convergence sweep (§5.4)",
     "fig9": "Timely epoch-latency accuracy (§5.5)",
     "skew": "DS2 under data skew (§4.2.3)",
+    "faults": "convergence under injected faults (robustness)",
 }
 
 
@@ -179,6 +210,28 @@ def cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    faults = getattr(args, "faults", None)
+    if faults is not None and args.experiment != "faults":
+        print(
+            "--faults only applies to the 'faults' experiment",
+            file=sys.stderr,
+        )
+        return 2
+    if args.experiment == "faults":
+        from repro.errors import FaultInjectionError
+
+        try:
+            print(
+                _run_faults(
+                    args.scale,
+                    faults=faults,
+                    fault_seed=getattr(args, "fault_seed", 1),
+                )
+            )
+        except FaultInjectionError as error:
+            print(f"invalid fault spec: {error}", file=sys.stderr)
+            return 2
+        return 0
     print(runner(args.scale))
     return 0
 
@@ -237,6 +290,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="duration scale factor (e.g. 0.3 for a quick look)",
+    )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fault schedule for the 'faults' experiment, e.g. "
+            "'crash@600:flatmap,dropout@300+180:source*0.5,"
+            "rescale-fail@0:abort'"
+        ),
+    )
+    run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=1,
+        dest="fault_seed",
+        help="seed for the fault schedule's deterministic noise",
     )
     run.set_defaults(func=cmd_run)
     sub.add_parser(

@@ -15,8 +15,10 @@ This package is the paper's primary contribution:
 from repro.core.controller import (
     ControlLoop,
     Controller,
+    FailedRescale,
     LoopResult,
     Observation,
+    RetryConfig,
     ScalingEvent,
 )
 from repro.core.learning import (
@@ -44,6 +46,7 @@ __all__ = [
     "DS2Controller",
     "DS2Policy",
     "ExecutionModel",
+    "FailedRescale",
     "LearningDS2Controller",
     "LoopResult",
     "ManagerConfig",
@@ -53,6 +56,7 @@ __all__ = [
     "OperatorEstimate",
     "OperatorProfile",
     "PolicyDecision",
+    "RetryConfig",
     "ScalingCurve",
     "ScalingCurveLearner",
     "ScalingEvent",

@@ -110,6 +110,10 @@ class DhalionController(Controller):
     ) -> Optional[Dict[str, int]]:
         if observation.in_outage or observation.window.outage_fraction > 0:
             return None
+        if observation.window.truncated:
+            # In-flight counters were lost mid-window (crash recovery);
+            # the under-counted window would read as low throughput.
+            return None
         if self._cooldown > 0:
             self._cooldown -= 1
             return None

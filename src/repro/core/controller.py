@@ -32,7 +32,7 @@ from typing import (
 from repro.dataflow.graph import LogicalGraph
 from repro.dataflow.physical import PhysicalPlan
 from repro.engine.simulator import Simulator, TickStats
-from repro.errors import PolicyError
+from repro.errors import PolicyError, ReconfigurationError
 from repro.metrics import MetricsWindow
 
 if TYPE_CHECKING:  # import-cycle guard: repository imports metrics only
@@ -91,6 +91,55 @@ class ScalingEvent:
     outage_seconds: float
 
 
+@dataclass(frozen=True)
+class FailedRescale:
+    """One reconfiguration attempt the runtime rejected."""
+
+    time: float
+    requested: Dict[str, int]
+    attempt: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Capped exponential backoff for failed reconfigurations.
+
+    The first retry waits ``initial_backoff_intervals`` policy
+    intervals; each further retry multiplies the wait by
+    ``backoff_base``, capped at ``max_backoff_intervals``. After
+    ``max_attempts`` total attempts the action is abandoned (the
+    controller will re-derive it from fresh metrics if still needed).
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 2.0
+    initial_backoff_intervals: float = 1.0
+    max_backoff_intervals: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise PolicyError("max_attempts must be >= 1")
+        if self.backoff_base < 1.0:
+            raise PolicyError("backoff_base must be >= 1")
+        if self.initial_backoff_intervals <= 0:
+            raise PolicyError("initial_backoff_intervals must be > 0")
+        if self.max_backoff_intervals < self.initial_backoff_intervals:
+            raise PolicyError(
+                "max_backoff_intervals must be >= initial_backoff_intervals"
+            )
+
+    def backoff_intervals(self, attempt: int) -> float:
+        """Policy intervals to wait after failed attempt ``attempt``."""
+        if attempt < 1:
+            raise PolicyError("attempt must be >= 1")
+        return min(
+            self.initial_backoff_intervals
+            * self.backoff_base ** (attempt - 1),
+            self.max_backoff_intervals,
+        )
+
+
 @dataclass
 class LoopResult:
     """Timeline produced by one control-loop run."""
@@ -100,6 +149,7 @@ class LoopResult:
     decisions: List[Tuple[float, Optional[Dict[str, int]]]] = field(
         default_factory=list
     )
+    failed_rescales: List[FailedRescale] = field(default_factory=list)
 
     @property
     def scaling_steps(self) -> int:
@@ -126,6 +176,7 @@ class ControlLoop:
         scalable_operators: Optional[Tuple[str, ...]] = None,
         tick_observer: Optional[Callable[[TickStats], None]] = None,
         repository: Optional["MetricsRepository"] = None,
+        retry: Optional[RetryConfig] = RetryConfig(),
     ) -> None:
         """Args:
             simulator: The job under control.
@@ -143,6 +194,12 @@ class ControlLoop:
                 every collected window is reported into it, giving
                 policies access to bounded history (lookback merging,
                 per-operator scaling history).
+            retry: Backoff schedule for reconfigurations the runtime
+                rejects (:class:`~repro.errors.ReconfigurationError`);
+                None propagates the first failure's record and never
+                retries. Either way a rejected rescale leaves the
+                running configuration untouched — the job is never left
+                partially reconfigured.
         """
         if policy_interval <= 0:
             raise PolicyError("policy_interval must be > 0")
@@ -159,6 +216,11 @@ class ControlLoop:
             raise PolicyError(f"unknown scalable operators {sorted(unknown)}")
         self._tick_observer = tick_observer
         self._repository = repository
+        self._retry = retry
+        # (requested, next attempt number, earliest retry time)
+        self._pending_retry: Optional[
+            Tuple[Dict[str, int], int, float]
+        ] = None
         self.result = LoopResult()
 
     @property
@@ -207,17 +269,64 @@ class ControlLoop:
         )
         desired = self._controller.on_metrics(observation)
         self.result.decisions.append((self._sim.time, desired))
-        if desired is None or self._sim.in_outage:
+        if self._sim.in_outage:
             return
-        requested = {
-            name: p for name, p in desired.items() if name in self._scalable
-        }
-        if not requested:
+        requested, attempt = self._select_request(desired)
+        if requested is None:
             return
+        self._attempt_rescale(requested, attempt)
+
+    def _select_request(
+        self, desired: Optional[Dict[str, int]]
+    ) -> Tuple[Optional[Dict[str, int]], int]:
+        """Resolve this interval's rescale request against any pending
+        retry: a fresh identical decision does not reset the backoff,
+        a different decision supersedes the pending one, and with no
+        fresh decision the pending action is retried once its backoff
+        elapses."""
         current = self._sim.plan.parallelism
-        if all(current[name] == p for name, p in requested.items()):
+        requested: Optional[Dict[str, int]] = None
+        if desired is not None:
+            filtered = {
+                name: p
+                for name, p in desired.items()
+                if name in self._scalable
+            }
+            if filtered and any(
+                current[name] != p for name, p in filtered.items()
+            ):
+                requested = filtered
+        if requested is not None:
+            pending = self._pending_retry
+            if pending is not None and pending[0] == requested:
+                _, attempt, not_before = pending
+                if self._sim.time < not_before - 1e-9:
+                    return None, 0
+                return requested, attempt
+            self._pending_retry = None
+            return requested, 1
+        pending = self._pending_retry
+        if pending is None:
+            return None, 0
+        pending_requested, attempt, not_before = pending
+        if self._sim.time < not_before - 1e-9:
+            return None, 0
+        if all(
+            current[name] == p for name, p in pending_requested.items()
+        ):
+            self._pending_retry = None
+            return None, 0
+        return pending_requested, attempt
+
+    def _attempt_rescale(
+        self, requested: Dict[str, int], attempt: int
+    ) -> None:
+        try:
+            outage = self._sim.rescale(requested)
+        except ReconfigurationError as exc:
+            self._record_failed_rescale(requested, attempt, exc)
             return
-        outage = self._sim.rescale(requested)
+        self._pending_retry = None
         applied = self._sim.plan.parallelism if outage == 0 else (
             self._pending_parallelism(requested)
         )
@@ -234,6 +343,30 @@ class ControlLoop:
             new_parallelism=applied,
         )
 
+    def _record_failed_rescale(
+        self,
+        requested: Dict[str, int],
+        attempt: int,
+        exc: ReconfigurationError,
+    ) -> None:
+        self.result.failed_rescales.append(
+            FailedRescale(
+                time=self._sim.time,
+                requested=dict(requested),
+                attempt=attempt,
+                reason=str(exc),
+            )
+        )
+        if self._retry is None or attempt >= self._retry.max_attempts:
+            self._pending_retry = None
+            return
+        delay = self._retry.backoff_intervals(attempt) * self._interval
+        self._pending_retry = (
+            dict(requested),
+            attempt + 1,
+            self._sim.time + delay,
+        )
+
     def _pending_parallelism(
         self, requested: Mapping[str, int]
     ) -> Dict[str, int]:
@@ -247,7 +380,9 @@ class ControlLoop:
 __all__ = [
     "ControlLoop",
     "Controller",
+    "FailedRescale",
     "LoopResult",
     "Observation",
+    "RetryConfig",
     "ScalingEvent",
 ]

@@ -26,6 +26,27 @@ deployment needs:
 * **Decision limit** — bound the number of consecutive scaling actions
   that yield no improvement (e.g. under data skew, which scaling cannot
   fix), guaranteeing convergence.
+
+The manager is additionally hardened against the partial failures a
+production metrics pipeline exhibits (crashes, reporter dropout,
+lagging collection):
+
+* **Truncated windows** — windows whose reporting instance set was
+  replaced mid-window (crash recovery, redeploy) under-count activity
+  and are skipped like outage windows.
+* **Stale-window guard** — decisions are skipped (and counted) when the
+  observed window ended more than ``max_window_age_intervals`` policy
+  intervals ago, as happens when the metrics pipeline lags and
+  re-delivers old windows.
+* **Completeness compensation** — monitored source rates and achieved
+  rates are scaled up by ``1 / completeness`` when a fraction of an
+  operator's instances stopped reporting, instead of silently treating
+  the missing telemetry as a drop in load (which would trigger the
+  exact spurious scale-down oscillation DS2 exists to prevent).
+* **Degraded mode** — when any operator's completeness drops below
+  ``min_completeness``, the compensated rates are too extrapolated to
+  trust and the manager freezes scaling, holding the last good
+  configuration until the metrics recover.
 """
 
 from __future__ import annotations
@@ -37,7 +58,8 @@ from typing import Deque, Dict, Mapping, Optional, Tuple
 
 from repro.core.controller import Controller, Observation
 from repro.core.policy import DS2Policy, PolicyDecision
-from repro.errors import PolicyError
+from repro.errors import PolicyError, StaleMetricsError
+from repro.metrics import MetricsWindow
 
 
 @dataclass(frozen=True)
@@ -65,6 +87,18 @@ class ManagerConfig:
     skew_detection: bool = True
     skew_imbalance_threshold: float = 1.15
     skew_saturation_threshold: float = 0.9
+    #: Freeze scaling while any operator's reporting completeness is
+    #: below this floor (degraded mode); 0 disables the floor.
+    min_completeness: float = 0.5
+    #: Scale monitored source rates (target and achieved) up by
+    #: ``1 / completeness`` when source telemetry is partially dropped,
+    #: instead of mistaking the dropout for a load decrease. False
+    #: reproduces the legacy failure mode (spurious scale-down).
+    completeness_compensation: bool = True
+    #: Skip windows that ended more than this many policy intervals
+    #: before the observation time (lagging metrics pipeline). None
+    #: disables the guard.
+    max_window_age_intervals: Optional[int] = 2
 
     def __post_init__(self) -> None:
         if self.warmup_intervals < 0:
@@ -94,6 +128,13 @@ class ManagerConfig:
             raise PolicyError(
                 "skew_saturation_threshold must be in (0, 1]"
             )
+        if not 0.0 <= self.min_completeness <= 1.0:
+            raise PolicyError("min_completeness must be in [0, 1]")
+        if (
+            self.max_window_age_intervals is not None
+            and self.max_window_age_intervals < 1
+        ):
+            raise PolicyError("max_window_age_intervals must be >= 1")
 
 
 class DS2Controller(Controller):
@@ -118,6 +159,9 @@ class DS2Controller(Controller):
         self._previous_parallelism: Optional[Dict[str, int]] = None
         self._achieved_before_action: Optional[float] = None
         self._last_decision: Optional[PolicyDecision] = None
+        self._degraded = False
+        self._degraded_intervals = 0
+        self._stale_windows_skipped = 0
 
     # ------------------------------------------------------------------
     # Introspection (used by experiments and tests)
@@ -145,6 +189,21 @@ class DS2Controller(Controller):
     def last_decision(self) -> Optional[PolicyDecision]:
         return self._last_decision
 
+    @property
+    def degraded(self) -> bool:
+        """True while scaling is frozen by the completeness floor."""
+        return self._degraded
+
+    @property
+    def degraded_intervals(self) -> int:
+        """Policy intervals spent in degraded mode so far."""
+        return self._degraded_intervals
+
+    @property
+    def stale_windows_skipped(self) -> int:
+        """Windows rejected by the stale-window guard so far."""
+        return self._stale_windows_skipped
+
     def reset(self) -> None:
         self._pending.clear()
         self._warmup_remaining = self._config.warmup_intervals
@@ -154,6 +213,9 @@ class DS2Controller(Controller):
         self._previous_parallelism = None
         self._achieved_before_action = None
         self._last_decision = None
+        self._degraded = False
+        self._degraded_intervals = 0
+        self._stale_windows_skipped = 0
 
     # ------------------------------------------------------------------
     # Controller interface
@@ -168,12 +230,29 @@ class DS2Controller(Controller):
         if observation.in_outage or window.outage_fraction > 0.0:
             # The job was (partly) down: rates are meaningless.
             return None
+        if window.truncated:
+            # In-flight counters were discarded mid-window (crash
+            # recovery, redeploy): the window under-counts activity.
+            return None
+        try:
+            self._check_fresh(observation)
+        except StaleMetricsError:
+            self._stale_windows_skipped += 1
+            return None
+        if self._below_completeness_floor(window):
+            # Too much telemetry is missing to extrapolate: freeze and
+            # hold the last good configuration until metrics recover.
+            self._degraded = True
+            self._degraded_intervals += 1
+            return None
+        self._degraded = False
         if self._warmup_remaining > 0:
             self._warmup_remaining -= 1
             return None
 
-        achieved = self._achieved_rate(observation)
-        target = sum(observation.source_target_rates.values())
+        source_rates = self._compensated_source_rates(observation)
+        achieved = self._achieved_rate(observation, window)
+        target = sum(source_rates.values())
 
         rollback = self._maybe_rollback(achieved, target)
         if rollback is not None:
@@ -181,7 +260,7 @@ class DS2Controller(Controller):
 
         decision = self._policy.decide(
             window=window,
-            source_rates=observation.source_target_rates,
+            source_rates=source_rates,
             rate_compensation=self._rate_compensation,
         )
         self._last_decision = decision
@@ -215,7 +294,7 @@ class DS2Controller(Controller):
             # comes from overheads the instrumentation cannot see;
             # compensate (section 4.2.1, "target rate ratio").
             compensated = self._maybe_compensate(
-                observation, achieved, target
+                observation, source_rates, achieved, target
             )
             if compensated is not None and compensated != current:
                 self._record_action(observation, achieved)
@@ -238,13 +317,68 @@ class DS2Controller(Controller):
     # Internals
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _achieved_rate(observation: Observation) -> float:
-        """Total observed source output rate over the window."""
-        return sum(
-            observation.window.source_observed_rates.get(name, 0.0)
-            for name in observation.source_target_rates
+    def _check_fresh(self, observation: Observation) -> None:
+        """Raise :class:`StaleMetricsError` when the window is older
+        than the configured freshness bound (a lagging metrics pipeline
+        re-delivering windows that no longer describe the present)."""
+        limit = self._config.max_window_age_intervals
+        if limit is None:
+            return
+        window = observation.window
+        interval = window.duration
+        if interval <= 0:
+            return
+        age = observation.time - window.end
+        if age > limit * interval + 1e-9:
+            raise StaleMetricsError(
+                f"window [{window.start:.1f}, {window.end:.1f}] is "
+                f"{age:.1f}s old at t={observation.time:.1f} "
+                f"(limit: {limit} x {interval:.1f}s interval)"
+            )
+
+    def _below_completeness_floor(self, window: MetricsWindow) -> bool:
+        floor = self._config.min_completeness
+        if floor <= 0.0:
+            return False
+        return any(
+            fraction < floor - 1e-9
+            for fraction in window.completeness.values()
         )
+
+    def _compensated_source_rates(
+        self, observation: Observation
+    ) -> Dict[str, float]:
+        """Monitored source target rates, scaled up by 1/completeness
+        per source when source telemetry is partially dropped. The
+        external rate monitor samples the same reporters as the metrics
+        pipeline, so a half-reporting source shows half its true rate —
+        which legacy mode mistakes for a halved load."""
+        rates = dict(observation.source_target_rates)
+        if not self._config.completeness_compensation:
+            return rates
+        window = observation.window
+        for name in rates:
+            fraction = window.completeness_of(name)
+            if 0.0 < fraction < 1.0:
+                rates[name] /= fraction
+        return rates
+
+    def _achieved_rate(
+        self, observation: Observation, window: MetricsWindow
+    ) -> float:
+        """Total observed source output rate over the window, with the
+        same completeness compensation as the target rates (so a
+        dropout does not read as a throughput collapse)."""
+        total = 0.0
+        compensate = self._config.completeness_compensation
+        for name in observation.source_target_rates:
+            observed = window.source_observed_rates.get(name, 0.0)
+            if compensate:
+                fraction = window.completeness_of(name)
+                if 0.0 < fraction < 1.0:
+                    observed /= fraction
+            total += observed
+        return total
 
     def _aggregate_pending(self) -> Dict[str, int]:
         """Median/max parallelism per operator across the activation
@@ -301,6 +435,7 @@ class DS2Controller(Controller):
     def _maybe_compensate(
         self,
         observation: Observation,
+        source_rates: Mapping[str, float],
         achieved: float,
         target: float,
     ) -> Optional[Dict[str, int]]:
@@ -335,7 +470,7 @@ class DS2Controller(Controller):
         self._rate_compensation = factor
         decision = self._policy.decide(
             window=observation.window,
-            source_rates=observation.source_target_rates,
+            source_rates=source_rates,
             rate_compensation=self._rate_compensation,
         )
         self._last_decision = decision

@@ -86,6 +86,7 @@ def compute_optimal_parallelism(
     window: MetricsWindow,
     source_rates: Mapping[str, float],
     rate_compensation: float = 1.0,
+    completeness_scaling: bool = True,
 ) -> ModelEvaluation:
     """Evaluate Eq. 7/8 for every non-source operator of ``graph``.
 
@@ -99,13 +100,23 @@ def compute_optimal_parallelism(
             rate; the scaling manager uses it to compensate for
             overheads not captured by instrumentation (the "target rate
             ratio" knob of section 4.2.1).
+        completeness_scaling: When True (the hardened default), an
+            operator whose window is incomplete — fewer instances
+            reported than are deployed, e.g. under metric dropout — has
+            its aggregated true rates scaled up by
+            ``deployed / reported`` (each missing instance is imputed
+            at its reporting siblings' mean) and Eq. 7 divides by the
+            *deployed* parallelism. When False (legacy behaviour), the
+            model sees only the reporting instances and treats the
+            deployed parallelism as whatever reported, which makes
+            dropout indistinguishable from a scale-down.
 
     Operators whose true rates are unknown (no useful time recorded in
-    the window — e.g. an operator that never received data) keep their
-    current parallelism and propagate their *measured* record-count
-    selectivity if available, else selectivity 1. They are reported in
-    ``unknown_operators`` so callers can postpone acting on the
-    decision.
+    the window — e.g. an operator that never received data, or one
+    whose instances all dropped out) keep their current parallelism and
+    propagate their *measured* record-count selectivity if available,
+    else selectivity 1. They are reported in ``unknown_operators`` so
+    callers can postpone acting on the decision.
     """
     if rate_compensation < 1.0:
         raise PolicyError("rate_compensation must be >= 1")
@@ -133,9 +144,36 @@ def compute_optimal_parallelism(
             ideal_output[up] for up in graph.upstream(name)
         )
 
-        agg_processing = window.aggregated_true_processing_rate(name)
-        agg_output = window.aggregated_true_output_rate(name)
-        current = window.parallelism_of(name)
+        reported = len(window.instances_of(name))
+        if completeness_scaling:
+            registered = window.registered_parallelism.get(name, 0)
+            if registered <= 0 and reported == 0:
+                raise PolicyError(
+                    f"no instances reported or registered for {name!r}"
+                )
+            current = registered if registered > 0 else reported
+            if reported > 0:
+                agg_processing = window.aggregated_true_processing_rate(
+                    name
+                )
+                agg_output = window.aggregated_true_output_rate(name)
+                if reported < current:
+                    # Scale incomplete per-instance rates up instead of
+                    # treating the missing instances as zero-rate.
+                    scale = current / reported
+                    if agg_processing is not None:
+                        agg_processing *= scale
+                    if agg_output is not None:
+                        agg_output *= scale
+            else:
+                # Complete dropout: capacity is unmeasurable this
+                # window; hold the deployed parallelism.
+                agg_processing = None
+                agg_output = None
+        else:
+            agg_processing = window.aggregated_true_processing_rate(name)
+            agg_output = window.aggregated_true_output_rate(name)
+            current = window.parallelism_of(name)
 
         selectivity = _selectivity_for(
             window, name, agg_processing, agg_output

@@ -60,9 +60,22 @@ class DS2Policy:
         graph: LogicalGraph,
         execution_model: ExecutionModel = ExecutionModel.PER_OPERATOR,
         scalable_operators: Optional[Tuple[str, ...]] = None,
+        completeness_scaling: bool = True,
     ) -> None:
+        """Args:
+            graph: The static logical dataflow.
+            execution_model: Per-operator (Flink/Heron) or global
+                (Timely) worker assignment.
+            scalable_operators: Operators the policy may size.
+            completeness_scaling: Harden the model against incomplete
+                metrics windows (see
+                :func:`~repro.core.model.compute_optimal_parallelism`);
+                False reproduces the legacy missing-instances-are-zero
+                behaviour.
+        """
         self._graph = graph
         self._execution_model = execution_model
+        self._completeness_scaling = completeness_scaling
         self._scalable = (
             scalable_operators
             if scalable_operators is not None
@@ -82,6 +95,10 @@ class DS2Policy:
     def execution_model(self) -> ExecutionModel:
         return self._execution_model
 
+    @property
+    def completeness_scaling(self) -> bool:
+        return self._completeness_scaling
+
     def decide(
         self,
         window: MetricsWindow,
@@ -94,6 +111,7 @@ class DS2Policy:
             window=window,
             source_rates=source_rates,
             rate_compensation=rate_compensation,
+            completeness_scaling=self._completeness_scaling,
         )
         if self._execution_model is ExecutionModel.GLOBAL:
             workers = evaluation.global_parallelism()

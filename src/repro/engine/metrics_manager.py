@@ -6,11 +6,26 @@ time, and waiting time. The :class:`MetricsManager` aggregates them and
 reports a :class:`~repro.metrics.MetricsWindow` on demand — the analogue
 of the per-thread MetricsManager module the authors added to Flink and
 Timely.
+
+Real metric pipelines fail partially: a reporter stalls in a GC pause,
+an instance restarts mid-window, a redeploy discards in-flight counters.
+The manager therefore tracks *which* instances reported and surfaces two
+robustness signals in every window:
+
+* per-operator **completeness** — the fraction of registered instances
+  whose counters made it into the window (suppressed instances hold
+  their counters locally and deliver them once reporting resumes, as a
+  recovered reporter would);
+* a **truncated** flag — set when the registered instance set was
+  replaced mid-window (redeploy, crash recovery), which silently
+  discards the in-flight counters of the old instances and makes the
+  window under-count activity.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional
+from dataclasses import replace
+from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from repro.dataflow.physical import InstanceId
 from repro.errors import MetricsError
@@ -27,6 +42,10 @@ class MetricsManager:
         # Per-instance accumulators:
         # [pulled, pushed, useful, waiting, observed]
         self._acc: Dict[InstanceId, List[float]] = {}
+        # Instances whose reports are currently withheld (dropout).
+        self._suppressed: Set[InstanceId] = set()
+        # Whether in-flight counters were discarded this window.
+        self._truncated = False
 
     @property
     def window_start(self) -> float:
@@ -36,10 +55,38 @@ class MetricsManager:
     def now(self) -> float:
         return self._now
 
+    @property
+    def suppressed(self) -> Set[InstanceId]:
+        """Instances currently withholding their reports."""
+        return set(self._suppressed)
+
     def register_instances(self, instances: Iterable[InstanceId]) -> None:
         """Replace the reporting instance set (called on deploy and on
-        every redeploy — counters restart for the new instances)."""
+        every redeploy — counters restart for the new instances).
+
+        Replacing a non-empty instance set mid-window discards the old
+        instances' in-flight counters, so the window collected next is
+        flagged as truncated — warm-up logic must not mistake it for a
+        full observation.
+        """
+        if self._acc and any(acc[4] > 0 for acc in self._acc.values()):
+            self._truncated = True
         self._acc = {iid: [0.0, 0.0, 0.0, 0.0, 0.0] for iid in instances}
+        # Suppressions name instances of the previous deployment; the
+        # injector (or caller) re-applies them against the new set.
+        self._suppressed.clear()
+
+    def set_suppressed(self, instances: Iterable[InstanceId]) -> None:
+        """Mark instances whose reports are withheld from collections
+        (metric dropout). Their counters keep accumulating locally and
+        are delivered in the first window after suppression lifts."""
+        suppressed = set(instances)
+        unknown = suppressed - set(self._acc)
+        if unknown:
+            raise MetricsError(
+                f"cannot suppress unregistered instances {sorted(unknown)}"
+            )
+        self._suppressed = suppressed
 
     def record(
         self,
@@ -70,6 +117,20 @@ class MetricsManager:
         for acc in self._acc.values():
             acc[4] += dt
 
+    def completeness(self) -> Dict[str, float]:
+        """Fraction of registered instances currently reporting, per
+        operator (1.0 everywhere while nothing is suppressed)."""
+        registered: Dict[str, int] = {}
+        reporting: Dict[str, int] = {}
+        for iid in self._acc:
+            registered[iid.operator] = registered.get(iid.operator, 0) + 1
+            if iid not in self._suppressed:
+                reporting[iid.operator] = reporting.get(iid.operator, 0) + 1
+        return {
+            name: reporting.get(name, 0) / count
+            for name, count in registered.items()
+        }
+
     def collect(
         self,
         health: Optional[Mapping[str, OperatorHealth]] = None,
@@ -78,11 +139,16 @@ class MetricsManager:
         """Build a window from the accumulated counters and reset them.
 
         ``health`` and ``source_observed_rates`` are snapshots provided
-        by the simulator at collection time.
+        by the simulator at collection time. Suppressed instances are
+        omitted from the window (they did not report); their counters
+        are held, not reset, so they deliver a catch-up report spanning
+        several windows once suppression lifts.
         """
         duration = self._now - self._window_start
         instances: Dict[InstanceId, InstanceCounters] = {}
         for iid, acc in self._acc.items():
+            if iid in self._suppressed:
+                continue
             pulled, pushed, useful, waiting, observed = acc
             # Clamp float accumulation drift so that Wu <= W holds.
             useful = min(useful, observed)
@@ -93,21 +159,38 @@ class MetricsManager:
                 waiting_time=waiting,
                 observed_time=observed,
             )
+        completeness = self.completeness()
+        registered_parallelism: Dict[str, int] = {}
+        for iid in self._acc:
+            registered_parallelism[iid.operator] = (
+                registered_parallelism.get(iid.operator, 0) + 1
+            )
+        merged_health: Dict[str, OperatorHealth] = {}
+        for name, entry in (health or {}).items():
+            merged_health[name] = replace(
+                entry, completeness=completeness.get(name, 1.0)
+            )
         window = MetricsWindow(
             start=self._window_start,
             end=self._now,
             instances=instances,
-            health=dict(health or {}),
+            health=merged_health,
             source_observed_rates=dict(source_observed_rates or {}),
             outage_fraction=(
                 min(1.0, self._outage_time / duration)
                 if duration > 0
                 else 0.0
             ),
+            completeness=completeness,
+            registered_parallelism=registered_parallelism,
+            truncated=self._truncated,
         )
         self._window_start = self._now
         self._outage_time = 0.0
-        for acc in self._acc.values():
+        self._truncated = False
+        for iid, acc in self._acc.items():
+            if iid in self._suppressed:
+                continue
             acc[0] = acc[1] = acc[2] = acc[3] = acc[4] = 0.0
         return window
 

@@ -190,6 +190,7 @@ class Simulator:
         self._outage_until: float = 0.0
         self._pending_plan: Optional[PhysicalPlan] = None
         self._rescale_count = 0
+        self._crash_count = 0
         # Window-accumulated source emissions for observed-rate reporting.
         self._window_source_emitted: Dict[str, float] = {
             name: 0.0 for name in self._graph.sources()
@@ -252,6 +253,17 @@ class Simulator:
     def rescale_count(self) -> int:
         """Number of reconfigurations applied so far."""
         return self._rescale_count
+
+    @property
+    def crash_count(self) -> int:
+        """Number of instance crashes injected so far."""
+        return self._crash_count
+
+    @property
+    def metrics_manager(self) -> MetricsManager:
+        """The instrumentation aggregator (fault injectors hook it to
+        model metric dropout)."""
+        return self._metrics
 
     @property
     def last_stats(self) -> Optional[TickStats]:
@@ -383,6 +395,59 @@ class Simulator:
         if outage == 0.0:
             self._deploy(new_plan)
             self._pending_plan = None
+        return outage
+
+    def force_outage(self, seconds: float) -> None:
+        """Halt the job for ``seconds`` without changing the plan.
+
+        Models failures that cost a restart but leave the configuration
+        untouched (crash recovery, a reconfiguration that timed out and
+        fell back to the old plan). Sources accumulate external backlog
+        during the halt; every instance restarts at the end, so the
+        in-flight instrumentation counters of the current window are
+        lost and the window is flagged truncated. Overlapping outages
+        extend rather than stack: the job is simply down until the
+        latest end time.
+        """
+        if seconds < 0:
+            raise EngineError("seconds must be >= 0")
+        if seconds == 0:
+            return
+        if self._pending_plan is None:
+            self._pending_plan = self._plan
+        self._outage_until = max(
+            self._outage_until, self._time + seconds
+        )
+
+    def fail_instance(self, operator: str, index: int = 0) -> float:
+        """Crash one operator instance (a TaskManager/worker loss).
+
+        Recovery mirrors the savepoint-and-restart mechanism: the job
+        halts for an outage proportional to total state size (the
+        runtime's :class:`~repro.dataflow.state.SavepointModel`), then
+        every instance restarts from the last consistent snapshot with
+        queued records intact. If a reconfiguration is already in
+        flight, the crash extends its outage and the pending plan still
+        applies at the end. Returns the recovery outage in seconds.
+        """
+        instances = self._instances.get(operator)
+        if instances is None:
+            raise EngineError(f"unknown operator {operator!r}")
+        if not 0 <= index < len(instances):
+            raise EngineError(
+                f"unknown instance {operator!r} index {index} "
+                f"(parallelism {len(instances)})"
+            )
+        outage = self._runtime.savepoint_model().outage_seconds(
+            self._state.total_bytes
+        )
+        self._crash_count += 1
+        if outage > 0:
+            self.force_outage(outage)
+        else:
+            # Zero-cost recovery model: the restart is instantaneous
+            # but still loses the in-flight counters.
+            self._deploy(self._plan)
         return outage
 
     def _deploy(self, plan: PhysicalPlan) -> None:

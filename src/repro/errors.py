@@ -40,3 +40,15 @@ class MetricsError(ReproError):
 
 class ReconfigurationError(ReproError):
     """Raised when a rescaling action cannot be applied to a running job."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for invalid fault-injection requests (malformed fault
+    specs, events targeting unknown operators or instances, schedules
+    with negative times or empty durations)."""
+
+
+class StaleMetricsError(ReproError):
+    """Raised when a controller is asked to act on a metrics window that
+    is older than its configured freshness bound (e.g. the reporting
+    pipeline lagged and re-delivered an already-seen window)."""

@@ -14,6 +14,8 @@ Module                 Paper content
                        Figure 9 (epoch-latency CDFs on Timely)
 ``overhead``           Figure 10 (instrumentation overhead)
 ``skew_experiment``    Section 4.2.3 (DS2 under data skew)
+``fault_tolerance``    Robustness extension: convergence under injected
+                       faults (crashes, metric dropout, failed rescales)
 =====================  ====================================================
 
 Every experiment accepts scale knobs (durations, tick size) so the

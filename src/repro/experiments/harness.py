@@ -19,6 +19,8 @@ from repro.engine.latency import LatencyDistribution
 from repro.engine.runtimes import Runtime
 from repro.engine.simulator import EngineConfig, Simulator, TickStats
 from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 
 
 @dataclass
@@ -69,6 +71,8 @@ class ExperimentRun:
     record_latency: Optional[LatencyDistribution]
     epoch_latency: Optional[LatencyDistribution]
     simulator: Simulator
+    #: Present when the run was fault-injected.
+    injector: Optional[FaultInjector] = None
 
     @property
     def scaling_steps(self) -> int:
@@ -111,6 +115,7 @@ def run_controlled(
     max_parallelism: Optional[int] = None,
     scalable_operators: Optional[Tuple[str, ...]] = None,
     sample_every: int = 4,
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> ExperimentRun:
     """Run ``controller`` against ``graph`` on ``runtime``.
 
@@ -130,6 +135,11 @@ def run_controlled(
         scalable_operators: Operators the loop may rescale (defaults to
             the graph's data-parallel non-source/sink operators).
         sample_every: Capture one time-series sample every N ticks.
+        fault_schedule: Optional fault schedule; when given, the
+            simulator is wrapped in a
+            :class:`~repro.faults.injector.FaultInjector` and the loop
+            runs against the shim (the control path is otherwise
+            unchanged).
     """
     if plan is None:
         plan = PhysicalPlan(
@@ -139,6 +149,11 @@ def run_controlled(
         )
     config = engine_config or EngineConfig()
     simulator = Simulator(plan=plan, runtime=runtime, config=config)
+    injector: Optional[FaultInjector] = None
+    job = simulator
+    if fault_schedule is not None:
+        injector = FaultInjector(simulator, fault_schedule)
+        job = injector
 
     source_rate: Dict[str, TimeSeries] = {
         name: TimeSeries() for name in graph.sources()
@@ -159,7 +174,7 @@ def run_controlled(
             parallelism[name].append(stats.time, float(value))
 
     loop = ControlLoop(
-        simulator=simulator,
+        simulator=job,
         controller=controller,
         policy_interval=policy_interval,
         scalable_operators=scalable_operators,
@@ -182,6 +197,7 @@ def run_controlled(
             else None
         ),
         simulator=simulator,
+        injector=injector,
     )
 
 

@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the simulated control loop.
+
+The subsystem has three parts: declarative, validated fault *events*
+(:mod:`repro.faults.events`), a seeded, replayable *schedule* of them
+(:mod:`repro.faults.schedule`), and an *injector* shim that applies a
+schedule to a live simulator without forking it
+(:mod:`repro.faults.injector`).
+"""
+
+from repro.faults.events import (
+    FaultEvent,
+    InstanceCrash,
+    MetricCorruption,
+    MetricDropout,
+    MetricLag,
+    RescaleFailure,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule, parse_faults
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "InstanceCrash",
+    "MetricCorruption",
+    "MetricDropout",
+    "MetricLag",
+    "RescaleFailure",
+    "parse_faults",
+]

@@ -1,0 +1,313 @@
+"""The fault-injection shim.
+
+:class:`FaultInjector` wraps a :class:`~repro.engine.simulator.Simulator`
+and injects the faults of a :class:`~repro.faults.schedule.FaultSchedule`
+by intercepting exactly four calls — ``step``, ``collect_metrics``,
+``source_target_rates`` and ``rescale`` — and delegating everything else
+untouched. The simulator is never forked or subclassed: a control loop
+(or experiment harness) that receives an injector instead of a bare
+simulator runs unchanged, which is what keeps the fault-free and
+fault-injected code paths provably identical.
+
+Injection points:
+
+* ``step`` — fires due one-shot events (instance crashes, arming
+  rescale failures) and keeps the metric-dropout suppression set in
+  sync with the active events.
+* ``collect_metrics`` — depresses source telemetry under source
+  dropout, miscounts records under corruption, and re-delivers /
+  merges windows under metrics lag.
+* ``source_target_rates`` — the externally monitored λ_src is sampled
+  from the same reporters as the metrics pipeline, so it too drops
+  when source reporters go silent. This is the legacy failure mode the
+  hardened manager compensates for.
+* ``rescale`` — armed :class:`~repro.faults.events.RescaleFailure`
+  events reject the request (``abort``) or charge a full
+  savepoint-and-restart outage first (``timeout``); either way the old
+  configuration keeps running and the request raises
+  :class:`~repro.errors.ReconfigurationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.dataflow.physical import InstanceId
+from repro.engine.simulator import Simulator, TickStats
+from repro.errors import ReconfigurationError
+from repro.faults.events import (
+    InstanceCrash,
+    MetricCorruption,
+    MetricDropout,
+    MetricLag,
+    RescaleFailure,
+)
+from repro.faults.schedule import FaultSchedule
+from repro.metrics import InstanceCounters, MetricsWindow, merge_windows
+
+
+class FaultInjector:
+    """Transparent fault-injecting proxy around a simulator."""
+
+    def __init__(
+        self, simulator: Simulator, schedule: FaultSchedule
+    ) -> None:
+        self._sim = simulator
+        self._schedule = schedule
+        self._fired: Set[int] = set()
+        # Armed rescale failures: [event, remaining count].
+        self._armed: List[List] = []
+        # Metrics-lag state: buffered fresh windows and the last window
+        # actually delivered before the lag started.
+        self._lag_buffer: List[MetricsWindow] = []
+        self._last_delivered: Optional[MetricsWindow] = None
+        # Human-readable record of every injection, for reports/tests.
+        self._log: List[Tuple[float, str]] = []
+
+    def __getattr__(self, name: str):
+        # Everything not intercepted goes straight to the simulator
+        # (only consulted when normal attribute lookup fails).
+        return getattr(self._sim, name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._sim
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        return self._schedule
+
+    @property
+    def injection_log(self) -> List[Tuple[float, str]]:
+        """(virtual time, description) per injected fault action."""
+        return list(self._log)
+
+    @property
+    def armed_rescale_failures(self) -> int:
+        """Rescale failures still waiting to reject a request."""
+        return sum(remaining for _, remaining in self._armed)
+
+    # ------------------------------------------------------------------
+    # Intercepted simulator surface
+    # ------------------------------------------------------------------
+
+    def step(self) -> TickStats:
+        self._fire_one_shots()
+        self._sync_suppression()
+        return self._sim.step()
+
+    def collect_metrics(self) -> MetricsWindow:
+        self._sync_suppression()
+        window = self._sim.collect_metrics()
+        window = self._depress_source_telemetry(window)
+        window = self._corrupt(window)
+        return self._apply_lag(window)
+
+    def source_target_rates(self) -> Dict[str, float]:
+        """λ_src as the (possibly degraded) rate monitor reports it."""
+        rates = self._sim.source_target_rates()
+        for name in rates:
+            rates[name] *= self._telemetry_completeness(name)
+        return rates
+
+    def rescale(self, updates: Mapping[str, int]) -> float:
+        for entry in self._armed:
+            event, remaining = entry
+            if remaining <= 0:
+                continue
+            entry[1] -= 1
+            if event.mode == "timeout":
+                outage = self._sim.runtime.savepoint_model().outage_seconds(
+                    self._sim.state_model.total_bytes
+                )
+                self._sim.force_outage(outage)
+                self._note(
+                    f"rescale to {dict(updates)} timed out after "
+                    f"{outage:.1f}s outage; old configuration restored"
+                )
+                raise ReconfigurationError(
+                    f"reconfiguration timed out after {outage:.1f}s; "
+                    f"job restored to the previous configuration"
+                )
+            self._note(
+                f"rescale to {dict(updates)} aborted (savepoint refused)"
+            )
+            raise ReconfigurationError(
+                "reconfiguration aborted: savepoint refused"
+            )
+        return self._sim.rescale(updates)
+
+    # ------------------------------------------------------------------
+    # One-shot events
+    # ------------------------------------------------------------------
+
+    def _fire_one_shots(self) -> None:
+        now = self._sim.time
+        for index, event in enumerate(self._schedule.events):
+            if index in self._fired or event.time > now:
+                continue
+            if isinstance(event, InstanceCrash):
+                self._fired.add(index)
+                parallelism = self._sim.plan.parallelism.get(
+                    event.operator
+                )
+                if parallelism is None:
+                    self._note(
+                        f"crash of unknown operator "
+                        f"{event.operator!r} skipped"
+                    )
+                    continue
+                # Clamp: the schedule may predate a scale-down.
+                idx = min(event.index, parallelism - 1)
+                outage = self._sim.fail_instance(event.operator, idx)
+                self._note(
+                    f"crashed {event.operator}[{idx}]; recovery "
+                    f"outage {outage:.1f}s"
+                )
+            elif isinstance(event, RescaleFailure):
+                self._fired.add(index)
+                self._armed.append([event, event.count])
+                self._note(
+                    f"armed {event.count} rescale failure(s) "
+                    f"(mode={event.mode})"
+                )
+
+    # ------------------------------------------------------------------
+    # Metric dropout
+    # ------------------------------------------------------------------
+
+    def _dropped_instances(self, now: float) -> Set[InstanceId]:
+        """Instances silenced by the dropouts active at ``now``, against
+        the currently deployed parallelism (lowest indices first, so
+        the choice is stable across windows and replays)."""
+        dropped: Set[InstanceId] = set()
+        parallelism = self._sim.plan.parallelism
+        for event in self._schedule.active(now, MetricDropout):
+            count = parallelism.get(event.operator, 0)
+            if count <= 0:
+                continue
+            silenced = min(count, int(round(event.fraction * count)))
+            for idx in range(silenced):
+                dropped.add(InstanceId(event.operator, idx))
+        return dropped
+
+    def _sync_suppression(self) -> None:
+        manager = self._sim.metrics_manager
+        dropped = self._dropped_instances(self._sim.time)
+        if dropped != manager.suppressed:
+            manager.set_suppressed(dropped)
+
+    def _telemetry_completeness(self, operator: str) -> float:
+        """Fraction of an operator's reporters still audible to the
+        external telemetry at the current time."""
+        count = self._sim.plan.parallelism.get(operator, 0)
+        if count <= 0:
+            return 1.0
+        silenced = len(
+            {
+                iid
+                for iid in self._dropped_instances(self._sim.time)
+                if iid.operator == operator
+            }
+        )
+        return (count - silenced) / count
+
+    def _depress_source_telemetry(
+        self, window: MetricsWindow
+    ) -> MetricsWindow:
+        """The observed source rates come from the same per-instance
+        reporters the metrics pipeline uses, so a half-silenced source
+        shows half its true rate — the signal that tricks a
+        non-hardened controller into scaling the whole job down."""
+        observed = dict(window.source_observed_rates)
+        changed = False
+        for name in observed:
+            fraction = window.completeness_of(name)
+            if fraction < 1.0:
+                observed[name] *= fraction
+                changed = True
+        if not changed:
+            return window
+        return replace(window, source_observed_rates=observed)
+
+    # ------------------------------------------------------------------
+    # Metric corruption
+    # ------------------------------------------------------------------
+
+    def _corrupt(self, window: MetricsWindow) -> MetricsWindow:
+        events = self._schedule.active(self._sim.time, MetricCorruption)
+        if not events:
+            return window
+        instances = dict(window.instances)
+        changed = False
+        for event in events:
+            rng = self._schedule.rng_for(event, salt=window.start)
+            for iid in sorted(
+                instances, key=lambda i: (i.operator, i.index)
+            ):
+                if iid.operator != event.operator:
+                    continue
+                factor = 1.0 + rng.uniform(
+                    -event.amplitude, event.amplitude
+                )
+                counters = instances[iid]
+                instances[iid] = InstanceCounters(
+                    records_pulled=counters.records_pulled * factor,
+                    records_pushed=counters.records_pushed * factor,
+                    useful_time=counters.useful_time,
+                    waiting_time=counters.waiting_time,
+                    observed_time=counters.observed_time,
+                )
+                changed = True
+        if not changed:
+            return window
+        self._note(
+            f"corrupted record counters of "
+            f"{sorted({e.operator for e in events})}"
+        )
+        return replace(window, instances=instances)
+
+    # ------------------------------------------------------------------
+    # Metrics lag
+    # ------------------------------------------------------------------
+
+    def _apply_lag(self, window: MetricsWindow) -> MetricsWindow:
+        if self._schedule.active(self._sim.time, MetricLag):
+            self._lag_buffer.append(window)
+            if self._last_delivered is not None:
+                self._note(
+                    "metrics lag: re-delivered window "
+                    f"[{self._last_delivered.start:.0f}, "
+                    f"{self._last_delivered.end:.0f}]"
+                )
+                return self._last_delivered
+            # Nothing delivered yet to repeat: the first window leaks
+            # through (a lagging pipeline still has a newest window).
+            self._lag_buffer.pop()
+            self._last_delivered = window
+            return window
+        if self._lag_buffer:
+            backlog = self._lag_buffer + [window]
+            self._lag_buffer = []
+            merged = merge_windows(backlog)
+            self._note(
+                f"metrics lag ended: delivered {len(backlog)} "
+                f"buffered window(s) merged"
+            )
+            self._last_delivered = merged
+            return merged
+        self._last_delivered = window
+        return window
+
+    # ------------------------------------------------------------------
+
+    def _note(self, message: str) -> None:
+        self._log.append((self._sim.time, message))
+
+
+__all__ = ["FaultInjector"]

@@ -129,12 +129,16 @@ class OperatorHealth:
             backpressure signal was raised (what Dhalion's resolver
             bases its scale factor on).
         pending_records: Total records queued at the operator.
+        completeness: Fraction of the operator's registered instances
+            that actually reported counters for the window (1.0 in a
+            healthy deployment; below 1 under metric dropout).
     """
 
     queue_fill: float
     backpressure: bool
     pending_records: float
     backpressure_fraction: float = 0.0
+    completeness: float = 1.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.queue_fill:
@@ -145,6 +149,8 @@ class OperatorHealth:
             raise MetricsError(
                 "backpressure_fraction must be in [0, 1]"
             )
+        if not 0.0 <= self.completeness <= 1.0:
+            raise MetricsError("completeness must be in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -162,6 +168,17 @@ class MetricsWindow:
             policies.
         outage_fraction: Fraction of the window during which the job was
             down for reconfiguration (useful for warm-up heuristics).
+        completeness: Per-operator fraction of registered instances that
+            reported counters for this window. Absent operators are
+            assumed complete (1.0) so hand-built windows keep working.
+        registered_parallelism: Per-operator number of instances that
+            were *deployed* during the window — as opposed to
+            ``parallelism_of``, which only counts instances that
+            reported. The two differ under metric dropout.
+        truncated: True when the reporting instance set was replaced
+            mid-window (redeploy or crash recovery), discarding
+            in-flight counters; such windows under-count activity and
+            warm-up logic should skip them.
     """
 
     start: float
@@ -170,12 +187,25 @@ class MetricsWindow:
     health: Mapping[str, OperatorHealth] = field(default_factory=dict)
     source_observed_rates: Mapping[str, float] = field(default_factory=dict)
     outage_fraction: float = 0.0
+    completeness: Mapping[str, float] = field(default_factory=dict)
+    registered_parallelism: Mapping[str, int] = field(default_factory=dict)
+    truncated: bool = False
 
     def __post_init__(self) -> None:
         if self.end < self.start:
             raise MetricsError("window end precedes start")
         if not 0.0 <= self.outage_fraction <= 1.0:
             raise MetricsError("outage_fraction must be in [0, 1]")
+        for name, value in self.completeness.items():
+            if not 0.0 <= value <= 1.0:
+                raise MetricsError(
+                    f"completeness of {name!r} must be in [0, 1]"
+                )
+        for name, value in self.registered_parallelism.items():
+            if value < 0:
+                raise MetricsError(
+                    f"registered parallelism of {name!r} must be >= 0"
+                )
 
     @property
     def duration(self) -> float:
@@ -198,6 +228,20 @@ class MetricsWindow:
         if count == 0:
             raise MetricsError(f"no instances reported for {operator!r}")
         return count
+
+    def completeness_of(self, operator: str) -> float:
+        """Fraction of the operator's registered instances that
+        reported for this window (1.0 when not tracked)."""
+        return self.completeness.get(operator, 1.0)
+
+    def registered_parallelism_of(self, operator: str) -> int:
+        """Number of instances *deployed* for an operator during the
+        window; falls back to the reporting count when the deployed
+        set was not tracked (hand-built windows)."""
+        registered = self.registered_parallelism.get(operator)
+        if registered is not None and registered > 0:
+            return registered
+        return self.parallelism_of(operator)
 
     def aggregated_true_processing_rate(self, operator: str) -> Optional[float]:
         """``o_i[λp]`` (Eq. 5): sum of per-instance true processing rates.
@@ -323,6 +367,7 @@ def merge_windows(windows: Iterable[MetricsWindow]) -> MetricsWindow:
     merged: Dict[InstanceId, InstanceCounters] = {}
     total = ordered[-1].end - ordered[0].start
     outage = 0.0
+    completeness: Dict[str, float] = {}
     for window in ordered:
         outage += window.outage_fraction * window.duration
         for iid, counters in window.instances.items():
@@ -330,6 +375,10 @@ def merge_windows(windows: Iterable[MetricsWindow]) -> MetricsWindow:
                 merged[iid] = merged[iid].merged(counters)
             else:
                 merged[iid] = counters
+        # Completeness merges conservatively: an operator is only as
+        # complete as its worst constituent window.
+        for name, value in window.completeness.items():
+            completeness[name] = min(completeness.get(name, 1.0), value)
     return MetricsWindow(
         start=ordered[0].start,
         end=ordered[-1].end,
@@ -337,6 +386,9 @@ def merge_windows(windows: Iterable[MetricsWindow]) -> MetricsWindow:
         health=ordered[-1].health,
         source_observed_rates=ordered[-1].source_observed_rates,
         outage_fraction=outage / total if total > 0 else 0.0,
+        completeness=completeness,
+        registered_parallelism=ordered[-1].registered_parallelism,
+        truncated=any(window.truncated for window in ordered),
     )
 
 

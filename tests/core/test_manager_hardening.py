@@ -1,0 +1,220 @@
+"""The scaling manager's hardening against partial telemetry failures:
+truncated windows, stale windows, incomplete metrics, degraded mode."""
+
+import pytest
+
+from repro.core.controller import Observation
+from repro.core.manager import DS2Controller, ManagerConfig
+from repro.core.policy import DS2Policy
+from repro.errors import PolicyError, StaleMetricsError
+from tests.conftest import make_window
+
+
+def steady_observation(
+    chain_graph,
+    source_rate=1000.0,
+    achieved=1000.0,
+    parallelism=2,
+    per_instance_rate=500.0,
+    time=0.0,
+    age=0.0,
+    **window_kwargs,
+):
+    """A steady-state observation: the worker runs at its optimum (two
+    instances, each at half the source rate, fully utilized)."""
+    counters = {
+        ("worker", index): (
+            per_instance_rate * 10.0,
+            per_instance_rate * 10.0,
+            10.0,
+        )
+        for index in range(parallelism)
+    }
+    counters[("snk", 0)] = (1e6, 0.0, 1.0)
+    window = make_window(
+        counters,
+        start=time,
+        end=time + 10.0,
+        source_observed_rates={"src": achieved},
+        **window_kwargs,
+    )
+    return Observation(
+        time=time + 10.0 + age,
+        window=window,
+        source_target_rates={"src": source_rate},
+        current_parallelism={"src": 1, "worker": parallelism, "snk": 1},
+        backpressured=(),
+        in_outage=False,
+        graph=chain_graph,
+    )
+
+
+def hardened(chain_graph, **config):
+    return DS2Controller(
+        DS2Policy(chain_graph), ManagerConfig(**config)
+    )
+
+
+def legacy(chain_graph, **config):
+    config.setdefault("completeness_compensation", False)
+    config.setdefault("min_completeness", 0.0)
+    config.setdefault("max_window_age_intervals", None)
+    return DS2Controller(
+        DS2Policy(chain_graph, completeness_scaling=False),
+        ManagerConfig(**config),
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"min_completeness": -0.1},
+        {"min_completeness": 1.1},
+        {"max_window_age_intervals": 0},
+        {"max_window_age_intervals": -2},
+    ])
+    def test_invalid_hardening_configs_rejected(self, kwargs):
+        with pytest.raises(PolicyError):
+            ManagerConfig(**kwargs)
+
+    def test_defaults_enable_hardening(self):
+        config = ManagerConfig()
+        assert config.completeness_compensation
+        assert config.min_completeness == 0.5
+        assert config.max_window_age_intervals == 2
+
+
+class TestTruncatedWindows:
+    def test_truncated_window_skipped(self, chain_graph):
+        ctrl = hardened(chain_graph)
+        skipped = ctrl.on_metrics(
+            steady_observation(
+                chain_graph, parallelism=1, truncated=True
+            )
+        )
+        assert skipped is None
+        # The same under-provisioned window untruncated scales up.
+        acted = ctrl.on_metrics(
+            steady_observation(chain_graph, parallelism=1)
+        )
+        assert acted == {"worker": 2}
+
+
+class TestStaleWindowGuard:
+    def test_stale_window_skipped_and_counted(self, chain_graph):
+        ctrl = hardened(chain_graph)
+        # Window ended 30 s before the observation at a 10 s interval:
+        # 3 intervals old > the default bound of 2.
+        result = ctrl.on_metrics(
+            steady_observation(chain_graph, parallelism=1, age=30.0)
+        )
+        assert result is None
+        assert ctrl.stale_windows_skipped == 1
+
+    def test_fresh_window_within_bound_acted_on(self, chain_graph):
+        ctrl = hardened(chain_graph)
+        result = ctrl.on_metrics(
+            steady_observation(chain_graph, parallelism=1, age=15.0)
+        )
+        assert result == {"worker": 2}
+        assert ctrl.stale_windows_skipped == 0
+
+    def test_guard_disabled_with_none(self, chain_graph):
+        ctrl = hardened(chain_graph, max_window_age_intervals=None)
+        result = ctrl.on_metrics(
+            steady_observation(chain_graph, parallelism=1, age=1e6)
+        )
+        assert result == {"worker": 2}
+
+    def test_check_fresh_raises_stale_metrics_error(self, chain_graph):
+        ctrl = hardened(chain_graph)
+        with pytest.raises(StaleMetricsError):
+            ctrl._check_fresh(
+                steady_observation(chain_graph, age=30.0)
+            )
+
+    def test_reset_clears_counters(self, chain_graph):
+        ctrl = hardened(chain_graph)
+        ctrl.on_metrics(steady_observation(chain_graph, age=30.0))
+        assert ctrl.stale_windows_skipped == 1
+        ctrl.reset()
+        assert ctrl.stale_windows_skipped == 0
+        assert ctrl.degraded_intervals == 0
+
+
+class TestDegradedMode:
+    def test_freezes_below_completeness_floor(self, chain_graph):
+        ctrl = hardened(chain_graph, min_completeness=0.6)
+        result = ctrl.on_metrics(
+            steady_observation(
+                chain_graph,
+                parallelism=1,
+                completeness={"worker": 0.5},
+            )
+        )
+        assert result is None
+        assert ctrl.degraded
+        assert ctrl.degraded_intervals == 1
+
+    def test_recovers_when_metrics_return(self, chain_graph):
+        ctrl = hardened(chain_graph, min_completeness=0.6)
+        ctrl.on_metrics(
+            steady_observation(
+                chain_graph,
+                parallelism=1,
+                completeness={"worker": 0.5},
+            )
+        )
+        assert ctrl.degraded
+        result = ctrl.on_metrics(
+            steady_observation(chain_graph, parallelism=1)
+        )
+        assert not ctrl.degraded
+        assert result == {"worker": 2}
+
+    def test_floor_zero_disables_degraded_mode(self, chain_graph):
+        ctrl = hardened(chain_graph, min_completeness=0.0)
+        result = ctrl.on_metrics(
+            steady_observation(
+                chain_graph,
+                parallelism=1,
+                completeness={"worker": 0.5},
+                registered_parallelism={"worker": 2},
+            )
+        )
+        # Not frozen: the model compensates instead.
+        assert result is not None or not ctrl.degraded
+
+
+class TestCompletenessCompensation:
+    def _dropout_observation(self, chain_graph):
+        """Half the source's reporters are silent: the monitored target
+        and observed rates both read 500 of the true 1000, while the
+        workers demonstrably still process the full load."""
+        return steady_observation(
+            chain_graph,
+            source_rate=500.0,
+            achieved=500.0,
+            completeness={"src": 0.5},
+            registered_parallelism={"src": 2, "worker": 2, "snk": 1},
+        )
+
+    def test_hardened_holds_through_source_dropout(self, chain_graph):
+        ctrl = hardened(chain_graph)
+        result = ctrl.on_metrics(self._dropout_observation(chain_graph))
+        assert result is None  # compensated: configuration is optimal
+        assert not ctrl.degraded
+
+    def test_legacy_spuriously_scales_down(self, chain_graph):
+        ctrl = legacy(chain_graph)
+        result = ctrl.on_metrics(self._dropout_observation(chain_graph))
+        assert result == {"worker": 1}  # halved target -> halved job
+
+    def test_flag_disabled_reproduces_legacy_failure(self, chain_graph):
+        # Only the compensation flag differs from the hardened default.
+        ctrl = hardened(
+            chain_graph,
+            completeness_compensation=False,
+            min_completeness=0.0,
+        )
+        result = ctrl.on_metrics(self._dropout_observation(chain_graph))
+        assert result == {"worker": 1}

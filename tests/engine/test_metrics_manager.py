@@ -96,3 +96,65 @@ class TestCollection:
     def test_negative_advance_rejected(self, manager):
         with pytest.raises(MetricsError):
             manager.advance(-0.1)
+
+
+class TestSuppression:
+    def test_suppressing_unregistered_instance_rejected(self, manager):
+        with pytest.raises(MetricsError):
+            manager.set_suppressed([InstanceId("ghost", 0)])
+
+    def test_completeness_tracks_suppression(self, manager):
+        assert manager.completeness() == {"op": 1.0}
+        manager.set_suppressed([InstanceId("op", 0)])
+        assert manager.completeness() == {"op": 0.5}
+        manager.set_suppressed([])
+        assert manager.completeness() == {"op": 1.0}
+
+    def test_suppressed_instance_omitted_from_window(self, manager):
+        manager.set_suppressed([InstanceId("op", 0)])
+        manager.advance(1.0)
+        window = manager.collect()
+        assert InstanceId("op", 0) not in window.instances
+        assert InstanceId("op", 1) in window.instances
+        assert window.completeness_of("op") == 0.5
+        assert window.registered_parallelism_of("op") == 2
+
+    def test_counters_held_through_suppression(self, manager):
+        iid = InstanceId("op", 0)
+        manager.set_suppressed([iid])
+        manager.record(iid, pulled=10, pushed=10, useful=0.5, waiting=0.5)
+        manager.advance(1.0)
+        manager.collect()  # suppressed: counters survive the reset
+        manager.set_suppressed([])
+        manager.record(iid, pulled=10, pushed=10, useful=0.5, waiting=0.5)
+        manager.advance(1.0)
+        catchup = manager.collect().instances[iid]
+        # The catch-up report spans both windows.
+        assert catchup.records_pulled == 20.0
+        assert catchup.observed_time == pytest.approx(2.0)
+
+    def test_register_clears_suppression(self, manager):
+        manager.set_suppressed([InstanceId("op", 0)])
+        manager.register_instances(
+            [InstanceId("op", 0), InstanceId("op", 1)]
+        )
+        assert manager.suppressed == set()
+
+
+class TestTruncation:
+    def test_midwindow_reregistration_truncates(self, manager):
+        manager.advance(1.0)  # in-flight observed time
+        manager.register_instances([InstanceId("op", 0)])
+        manager.advance(1.0)
+        window = manager.collect()
+        assert window.truncated
+        # The flag is per-window: the next one is clean again.
+        manager.advance(1.0)
+        assert not manager.collect().truncated
+
+    def test_boundary_reregistration_is_clean(self, manager):
+        manager.advance(1.0)
+        manager.collect()
+        manager.register_instances([InstanceId("op", 0)])
+        manager.advance(1.0)
+        assert not manager.collect().truncated

@@ -1,0 +1,297 @@
+"""The FaultInjector shim against a live simulator.
+
+Every test drives a real :class:`Simulator` through the injector the
+same way the control loop would — the shim's contract is that an
+uninjected schedule leaves behaviour byte-identical and each fault type
+perturbs exactly its own channel.
+"""
+
+import pytest
+
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    map_operator,
+    sink,
+    source,
+)
+from repro.dataflow.physical import InstanceId, PhysicalPlan
+from repro.dataflow.state import SavepointModel
+from repro.engine.runtimes import FlinkRuntime
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.errors import ReconfigurationError
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    InstanceCrash,
+    MetricCorruption,
+    MetricDropout,
+    MetricLag,
+    RescaleFailure,
+)
+
+
+def small_graph(rate=1000.0):
+    return LogicalGraph(
+        [
+            source("src", rate=RateSchedule.constant(rate)),
+            map_operator("op", costs=CostModel(processing_cost=1e-4)),
+            sink("snk"),
+        ],
+        [Edge("src", "op"), Edge("op", "snk")],
+    )
+
+
+def make_injector(
+    schedule,
+    source_parallelism=2,
+    op_parallelism=2,
+    savepoint=None,
+):
+    graph = small_graph()
+    plan = PhysicalPlan(
+        graph, {"src": source_parallelism, "op": op_parallelism}
+    )
+    simulator = Simulator(
+        plan,
+        FlinkRuntime(savepoint=savepoint or SavepointModel.instant()),
+        EngineConfig(tick=0.5, track_record_latency=False),
+    )
+    return FaultInjector(simulator, schedule)
+
+
+def run_for(injector, seconds):
+    end = injector.time + seconds
+    while injector.time < end - 1e-9:
+        injector.step()
+
+
+class TestProxying:
+    def test_delegates_untouched_surface(self):
+        injector = make_injector(FaultSchedule([]))
+        assert injector.time == 0.0
+        assert injector.plan.parallelism["op"] == 2
+        assert injector.graph.sources() == ("src",)
+        assert injector.in_outage is False
+
+    def test_empty_schedule_is_transparent(self):
+        plain = make_injector(FaultSchedule([])).simulator
+        shimmed = make_injector(FaultSchedule([]))
+        for _ in range(20):
+            plain.step()
+            shimmed.step()
+        assert (
+            plain.collect_metrics() == shimmed.collect_metrics()
+        )
+
+
+class TestMetricDropout:
+    def test_suppressed_instances_omitted_and_completeness_reported(self):
+        schedule = FaultSchedule([
+            MetricDropout(
+                time=0.0, duration=100.0, operator="src", fraction=0.5
+            ),
+        ])
+        injector = make_injector(schedule)
+        run_for(injector, 10.0)
+        window = injector.collect_metrics()
+        assert window.completeness_of("src") == 0.5
+        assert window.completeness_of("op") == 1.0
+        assert len(window.instances_of("src")) == 1
+        # Registered parallelism still knows the true deployment.
+        assert window.registered_parallelism_of("src") == 2
+
+    def test_source_telemetry_depressed(self):
+        schedule = FaultSchedule([
+            MetricDropout(
+                time=0.0, duration=100.0, operator="src", fraction=0.5
+            ),
+        ])
+        injector = make_injector(schedule)
+        injector.step()  # sync suppression
+        # Monitored target rate halves with half the reporters silent.
+        assert injector.source_target_rates()["src"] == pytest.approx(
+            500.0
+        )
+        run_for(injector, 10.0)
+        window = injector.collect_metrics()
+        clean = make_injector(FaultSchedule([]))
+        run_for(clean, 10.5)
+        reference = clean.collect_metrics()
+        assert window.source_observed_rates["src"] == pytest.approx(
+            reference.source_observed_rates["src"] * 0.5, rel=0.05
+        )
+
+    def test_counters_held_and_delivered_after_dropout(self):
+        # Ends at t=15, mid second window, so the t=10 collection is
+        # still suppressed and the t=20 one sees the catch-up report.
+        schedule = FaultSchedule([
+            MetricDropout(
+                time=0.0, duration=15.0, operator="src", fraction=0.5
+            ),
+        ])
+        injector = make_injector(schedule)
+        run_for(injector, 10.0)
+        during = injector.collect_metrics()
+        assert InstanceId("src", 0) not in during.instances
+        run_for(injector, 10.0)
+        after = injector.collect_metrics()
+        catchup = after.instances[InstanceId("src", 0)]
+        # The silenced reporter catches up: its counters span both
+        # windows, not just the last one.
+        assert catchup.observed_time == pytest.approx(20.0)
+        assert after.completeness_of("src") == 1.0
+
+    def test_full_dropout_suppresses_every_instance(self):
+        schedule = FaultSchedule([
+            MetricDropout(time=0.0, duration=100.0, operator="op"),
+        ])
+        injector = make_injector(schedule)
+        run_for(injector, 10.0)
+        window = injector.collect_metrics()
+        assert window.instances_of("op") == []
+        assert window.completeness_of("op") == 0.0
+
+
+class TestMetricCorruption:
+    def _window(self, seed):
+        schedule = FaultSchedule([
+            MetricCorruption(
+                time=0.0, duration=100.0, operator="op", amplitude=0.4
+            ),
+        ], seed=seed)
+        injector = make_injector(schedule)
+        run_for(injector, 10.0)
+        return injector.collect_metrics()
+
+    def test_scales_record_counts_not_timings(self):
+        corrupted = self._window(seed=1)
+        clean_injector = make_injector(FaultSchedule([]))
+        run_for(clean_injector, 10.0)
+        clean = clean_injector.collect_metrics()
+        for iid in clean.instances_of("op"):
+            a = corrupted.instances[iid]
+            b = clean.instances[iid]
+            assert a.records_pulled != b.records_pulled
+            assert a.useful_time == b.useful_time
+            assert a.observed_time == b.observed_time
+
+    def test_deterministic_per_seed(self):
+        assert self._window(seed=3) == self._window(seed=3)
+        assert self._window(seed=3) != self._window(seed=4)
+
+
+class TestMetricLag:
+    def test_redelivers_stale_window_then_merges(self):
+        schedule = FaultSchedule([
+            MetricLag(time=10.0, duration=25.0),  # active 10..35
+        ])
+        injector = make_injector(schedule)
+        run_for(injector, 10.0)
+        # Lag starts exactly at this collection; with nothing delivered
+        # yet to repeat, the newest window leaks through.
+        fresh = injector.collect_metrics()
+        assert fresh.end == pytest.approx(10.0)
+        run_for(injector, 10.0)
+        stale = injector.collect_metrics()  # t=20, lag active
+        assert stale == fresh  # re-delivered, old timestamps and all
+        run_for(injector, 10.0)
+        assert injector.collect_metrics() == fresh  # t=30, still lagging
+        run_for(injector, 10.0)
+        merged = injector.collect_metrics()  # t=40, lag over
+        # The backlog arrives as one catch-up window spanning the lag.
+        assert merged.start == pytest.approx(10.0)
+        assert merged.end == pytest.approx(40.0)
+
+
+class TestInstanceCrash:
+    def test_crash_costs_recovery_outage_and_truncates_window(self):
+        schedule = FaultSchedule([
+            InstanceCrash(time=5.0, operator="op", index=0),
+        ])
+        injector = make_injector(
+            schedule,
+            savepoint=SavepointModel(
+                base_seconds=4.0,
+                snapshot_bandwidth=1e12,
+                redeploy_seconds=0.0,
+            ),
+        )
+        run_for(injector, 10.0)
+        assert injector.crash_count == 1
+        window = injector.collect_metrics()
+        assert window.truncated
+        assert window.outage_fraction > 0.0
+        # The plan itself is untouched by a crash.
+        assert injector.plan.parallelism["op"] == 2
+
+    def test_crash_index_clamped_to_parallelism(self):
+        schedule = FaultSchedule([
+            InstanceCrash(time=1.0, operator="op", index=99),
+        ])
+        injector = make_injector(schedule)
+        run_for(injector, 5.0)
+        assert injector.crash_count == 1
+
+    def test_crash_of_unknown_operator_skipped(self):
+        schedule = FaultSchedule([
+            InstanceCrash(time=1.0, operator="ghost"),
+        ])
+        injector = make_injector(schedule)
+        run_for(injector, 5.0)
+        assert injector.crash_count == 0
+        assert any(
+            "unknown operator" in msg
+            for _, msg in injector.injection_log
+        )
+
+
+class TestRescaleFailure:
+    def test_abort_rejects_without_outage(self):
+        schedule = FaultSchedule([
+            RescaleFailure(time=0.0, mode="abort", count=1),
+        ])
+        injector = make_injector(schedule)
+        run_for(injector, 2.0)
+        with pytest.raises(ReconfigurationError):
+            injector.rescale({"op": 4})
+        assert injector.plan.parallelism["op"] == 2
+        assert not injector.in_outage
+        # The failure is consumed: the next attempt goes through.
+        assert injector.rescale({"op": 4}) == 0.0
+        assert injector.plan.parallelism["op"] == 4
+
+    def test_timeout_charges_outage_and_keeps_old_plan(self):
+        schedule = FaultSchedule([
+            RescaleFailure(time=0.0, mode="timeout", count=1),
+        ])
+        injector = make_injector(
+            schedule,
+            savepoint=SavepointModel(
+                base_seconds=5.0,
+                snapshot_bandwidth=1e12,
+                redeploy_seconds=0.0,
+            ),
+        )
+        run_for(injector, 2.0)
+        with pytest.raises(ReconfigurationError):
+            injector.rescale({"op": 4})
+        assert injector.in_outage
+        run_for(injector, 6.0)
+        # After the wasted outage the old configuration is running.
+        assert not injector.in_outage
+        assert injector.plan.parallelism["op"] == 2
+
+    def test_count_limits_consecutive_failures(self):
+        schedule = FaultSchedule([
+            RescaleFailure(time=0.0, mode="abort", count=2),
+        ])
+        injector = make_injector(schedule)
+        run_for(injector, 2.0)
+        assert injector.armed_rescale_failures == 2
+        for _ in range(2):
+            with pytest.raises(ReconfigurationError):
+                injector.rescale({"op": 4})
+        assert injector.armed_rescale_failures == 0
+        assert injector.rescale({"op": 4}) == 0.0

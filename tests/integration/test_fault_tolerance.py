@@ -1,0 +1,107 @@
+"""End-to-end fault campaign (ISSUE acceptance criteria).
+
+One deterministic campaign — rejected rescale at t=0, 50% source metric
+dropout at t=420 for 180 s, flatmap instance crash at t=780 — against
+the Heron wordcount job. The hardened manager must hold through the
+dropout and re-converge after the crash; legacy DS2 must reproduce the
+spurious scale-down the hardening exists to prevent.
+"""
+
+import pytest
+
+from repro.experiments.comparison import HERON_POLICY_INTERVAL
+from repro.experiments.fault_tolerance import (
+    CRASH_AT,
+    DROPOUT_AT,
+    DROPOUT_SECONDS,
+    default_fault_schedule,
+    fault_tolerance_report,
+    run_ds2_faults,
+)
+from repro.workloads.wordcount import COUNT, FLATMAP
+
+
+@pytest.fixture(scope="module")
+def hardened():
+    return run_ds2_faults(tick=1.0, hardened=True)
+
+
+@pytest.fixture(scope="module")
+def legacy():
+    return run_ds2_faults(tick=1.0, hardened=False)
+
+
+class TestRescaleFailureRecovery:
+    def test_first_attempt_rejected_then_retried(self, hardened):
+        assert hardened.failed_rescales == 1
+        failure = hardened.run.loop_result.failed_rescales[0]
+        assert failure.attempt == 1
+        # The retried reconfiguration lands fully — the job reaches the
+        # paper's optimum in one applied step, never a partial config.
+        assert hardened.steps == 1
+        event = hardened.run.loop_result.events[0]
+        assert event.applied[FLATMAP] == hardened.optimal_flatmap
+        assert event.applied[COUNT] == hardened.optimal_count
+        assert event.time > failure.time
+
+
+class TestMetricDropout:
+    def test_hardened_holds_through_dropout(self, hardened):
+        assert hardened.held_through_dropout
+
+    def test_legacy_spuriously_scales_down(self, legacy):
+        assert not legacy.held_through_dropout
+        end = DROPOUT_AT + DROPOUT_SECONDS + HERON_POLICY_INTERVAL
+        # The halved source telemetry halves the whole job.
+        assert legacy.min_parallelism_between(
+            FLATMAP, DROPOUT_AT, end
+        ) < legacy.optimal_flatmap
+        assert legacy.min_parallelism_between(
+            COUNT, DROPOUT_AT, end
+        ) < legacy.optimal_count
+
+    def test_legacy_pays_extra_reconfigurations(self, hardened, legacy):
+        # Scale-down into the dropout plus scale-up out of it: two
+        # extra outages relative to the hardened run.
+        assert legacy.steps >= hardened.steps + 2
+
+
+class TestCrashRecovery:
+    def test_crash_outage_accounted_and_window_truncated(self, hardened):
+        # The recovery outage spans the crash window; the restart at
+        # its end discards in-flight counters, truncating the window
+        # that covers the redeploy.
+        after = [
+            w for w in hardened.run.loop_result.windows
+            if w.end > CRASH_AT
+        ]
+        assert after, "no metrics window covers the crash"
+        assert any(w.outage_fraction > 0.0 for w in after)
+        assert any(w.truncated for w in after)
+
+    def test_reconverges_without_overshoot(self, hardened):
+        # Recovery restores the pre-crash configuration; no scaling
+        # decision after the crash (re-convergence in zero extra steps,
+        # well within the <= 3 bound, and thus no overshoot).
+        after = [
+            e for e in hardened.run.loop_result.events
+            if e.time > CRASH_AT
+        ]
+        assert len(after) <= 3
+        for event in after:
+            assert event.applied[FLATMAP] <= hardened.optimal_flatmap
+            assert event.applied[COUNT] <= hardened.optimal_count
+        assert hardened.final_flatmap == hardened.optimal_flatmap
+        assert hardened.final_count == hardened.optimal_count
+
+
+class TestReporting:
+    def test_report_renders_all_rows(self, hardened, legacy):
+        table = fault_tolerance_report([hardened, legacy])
+        assert "ds2" in table and "ds2-legacy" in table
+        assert "held dropout" in table
+
+    def test_schedule_is_deterministic(self):
+        assert default_fault_schedule(seed=7) == default_fault_schedule(
+            seed=7
+        )

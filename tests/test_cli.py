@@ -33,6 +33,25 @@ class TestParser:
         assert args.experiment == "fig7"
         assert args.scale == 0.25
 
+    def test_faults_argument_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "run", "faults",
+            "--faults", "crash@600:flatmap",
+            "--fault-seed", "7",
+        ])
+        assert args.experiment == "faults"
+        assert args.faults == "crash@600:flatmap"
+        assert args.fault_seed == 7
+
+    def test_faults_rejected_for_other_experiments(self, capsys):
+        assert main(["run", "fig6", "--faults", "crash@0:x"]) == 2
+        assert "--faults" in capsys.readouterr().err
+
+    def test_malformed_fault_spec_rejected(self, capsys):
+        assert main(["run", "faults", "--faults", "nonsense"]) == 2
+        assert "invalid fault spec" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_decide_prints_optimum(self, capsys):

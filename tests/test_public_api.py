@@ -5,12 +5,14 @@ import pytest
 import repro
 from repro.errors import (
     EngineError,
+    FaultInjectionError,
     GraphError,
     MetricsError,
     PlanError,
     PolicyError,
     ReconfigurationError,
     ReproError,
+    StaleMetricsError,
 )
 
 
@@ -34,8 +36,10 @@ class TestPublicApi:
         import repro.experiments.comparison
         import repro.experiments.convergence
         import repro.experiments.dynamic
+        import repro.experiments.fault_tolerance
         import repro.experiments.overhead
         import repro.experiments.skew_experiment
+        import repro.faults.injector
         import repro.workloads.nexmark.semantics
 
 
@@ -43,6 +47,7 @@ class TestErrorHierarchy:
     @pytest.mark.parametrize("exc", [
         GraphError, PlanError, EngineError, PolicyError,
         MetricsError, ReconfigurationError,
+        FaultInjectionError, StaleMetricsError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
