@@ -146,6 +146,23 @@ def _run_faults(
     return fault_tolerance_report(results)
 
 
+def _run_chaos(
+    scale: float,
+    profile: str = "mixed",
+    seeds: int = 20,
+    seed: int = 1,
+) -> str:
+    from repro.experiments.chaos import chaos_report, run_chaos
+
+    # Campaign durations are baked into the profile; --scale below 1
+    # coarsens the tick instead (as with 'faults').
+    tick = 1.0 if scale >= 1.0 else 2.0
+    result = run_chaos(
+        profile=profile, campaigns=seeds, seed=seed, tick=tick
+    )
+    return chaos_report(result)
+
+
 EXPERIMENTS: Dict[str, Callable[[float], str]] = {
     "fig6": _run_fig6,
     "fig7": _run_fig7,
@@ -153,6 +170,7 @@ EXPERIMENTS: Dict[str, Callable[[float], str]] = {
     "fig9": _run_fig9,
     "skew": _run_skew,
     "faults": _run_faults,
+    "chaos": _run_chaos,
 }
 
 EXPERIMENT_DESCRIPTIONS = {
@@ -162,6 +180,7 @@ EXPERIMENT_DESCRIPTIONS = {
     "fig9": "Timely epoch-latency accuracy (§5.5)",
     "skew": "DS2 under data skew (§4.2.3)",
     "faults": "convergence under injected faults (robustness)",
+    "chaos": "seeded chaos campaigns with SASO scorecards (robustness)",
 }
 
 
@@ -217,6 +236,32 @@ def cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    profile = getattr(args, "profile", None)
+    seeds = getattr(args, "seeds", None)
+    if (
+        profile is not None or seeds is not None
+    ) and args.experiment != "chaos":
+        print(
+            "--profile/--seeds only apply to the 'chaos' experiment",
+            file=sys.stderr,
+        )
+        return 2
+    if args.experiment == "chaos":
+        from repro.errors import FaultInjectionError
+
+        try:
+            print(
+                _run_chaos(
+                    args.scale,
+                    profile=profile if profile is not None else "mixed",
+                    seeds=seeds if seeds is not None else 20,
+                    seed=getattr(args, "fault_seed", 1),
+                )
+            )
+        except FaultInjectionError as error:
+            print(f"invalid chaos campaign: {error}", file=sys.stderr)
+            return 2
+        return 0
     if args.experiment == "faults":
         from repro.errors import FaultInjectionError
 
@@ -306,7 +351,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         dest="fault_seed",
-        help="seed for the fault schedule's deterministic noise",
+        help=(
+            "seed for the fault schedule's deterministic noise "
+            "(for 'chaos': the campaign generator's master seed)"
+        ),
+    )
+    run.add_argument(
+        "--profile",
+        default=None,
+        help=(
+            "chaos campaign profile for the 'chaos' experiment "
+            "(mixed, crashes, telemetry, rescale-storm, smoke)"
+        ),
+    )
+    run.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help=(
+            "number of sampled campaigns for the 'chaos' experiment "
+            "(default 20)"
+        ),
     )
     run.set_defaults(func=cmd_run)
     sub.add_parser(

@@ -13,6 +13,12 @@ from repro.engine.latency import (
     RecordLatencyTracker,
 )
 from repro.engine.metrics_manager import MetricsManager
+from repro.engine.recovery import (
+    ContainerRestartRecovery,
+    PeerSyncRecovery,
+    RecoveryModel,
+    SavepointRecovery,
+)
 from repro.engine.runtimes import (
     FlinkRuntime,
     HeronRuntime,
@@ -22,15 +28,19 @@ from repro.engine.runtimes import (
 from repro.engine.simulator import EngineConfig, Simulator, TickStats
 
 __all__ = [
+    "ContainerRestartRecovery",
     "EngineConfig",
     "EpochLatencyTracker",
     "FlinkRuntime",
     "HeronRuntime",
     "LatencyDistribution",
     "MetricsManager",
+    "PeerSyncRecovery",
     "Queue",
     "RecordLatencyTracker",
+    "RecoveryModel",
     "Runtime",
+    "SavepointRecovery",
     "Simulator",
     "TickStats",
     "TimelyRuntime",

@@ -24,6 +24,12 @@ from typing import Dict, Mapping, Optional
 from repro.dataflow.operators import OperatorSpec
 from repro.dataflow.physical import InstanceId, PhysicalPlan
 from repro.dataflow.state import SavepointModel
+from repro.engine.recovery import (
+    ContainerRestartRecovery,
+    PeerSyncRecovery,
+    RecoveryModel,
+    SavepointRecovery,
+)
 from repro.errors import EngineError
 
 
@@ -74,6 +80,16 @@ class Runtime(abc.ABC):
     def savepoint_model(self) -> SavepointModel:
         """The outage cost model for rescaling on this runtime."""
 
+    def recovery_model(self) -> RecoveryModel:
+        """The outage cost model for *crash* recovery on this runtime.
+
+        Defaults to restoring the whole job from the last savepoint
+        (the Flink behaviour); runtimes without savepoints override
+        this with their own mechanism (peer re-sync on Timely,
+        container restart on Heron).
+        """
+        return SavepointRecovery(self.savepoint_model())
+
 
 class FlinkRuntime(Runtime):
     """Flink-style execution: one slot per instance, bounded buffers.
@@ -98,6 +114,7 @@ class FlinkRuntime(Runtime):
         max_queue_records: float = 1e12,
         cores: Optional[int] = None,
         savepoint: Optional[SavepointModel] = None,
+        recovery: Optional[RecoveryModel] = None,
     ) -> None:
         # Queues are sized in seconds of the *owning* instance's work
         # (buffer_seconds / per-record cost); max_queue_records is only
@@ -114,6 +131,7 @@ class FlinkRuntime(Runtime):
         self.max_queue_records = max_queue_records
         self.cores = cores
         self._savepoint = savepoint or SavepointModel()
+        self._recovery = recovery
 
     def queue_capacity(
         self, spec: OperatorSpec, parallelism: int
@@ -138,6 +156,11 @@ class FlinkRuntime(Runtime):
     def savepoint_model(self) -> SavepointModel:
         return self._savepoint
 
+    def recovery_model(self) -> RecoveryModel:
+        # Flink restores the whole job from the last savepoint, so a
+        # crash costs the same savepoint-restore outage as a rescale.
+        return self._recovery or SavepointRecovery(self._savepoint)
+
 
 class HeronRuntime(FlinkRuntime):
     """Heron-style execution: dedicated instances, huge bounded queues,
@@ -159,6 +182,7 @@ class HeronRuntime(FlinkRuntime):
         queue_bytes: float = 100 * 1024 * 1024,
         cores: Optional[int] = None,
         savepoint: Optional[SavepointModel] = None,
+        recovery: Optional[RecoveryModel] = None,
     ) -> None:
         if queue_bytes <= 0:
             raise EngineError("queue_bytes must be > 0")
@@ -172,6 +196,9 @@ class HeronRuntime(FlinkRuntime):
                 snapshot_bandwidth=100e6,
                 redeploy_seconds=40.0,
             ),
+            # A crash only restarts the failed container; rescaling
+            # still redeploys the whole topology (savepoint model).
+            recovery=recovery or ContainerRestartRecovery(),
         )
         self.queue_bytes = queue_bytes
 
@@ -199,12 +226,19 @@ class TimelyRuntime(Runtime):
     backpressure_threshold = 1.0  # never signalled: queues are unbounded
     instrumentation_overhead = 0.15
 
-    def __init__(self, savepoint: Optional[SavepointModel] = None) -> None:
+    def __init__(
+        self,
+        savepoint: Optional[SavepointModel] = None,
+        recovery: Optional[RecoveryModel] = None,
+    ) -> None:
         self._savepoint = savepoint or SavepointModel(
             base_seconds=5.0,
             snapshot_bandwidth=400e6,
             redeploy_seconds=10.0,
         )
+        # No savepoints: a crashed worker re-syncs its shard from the
+        # surviving peers instead of rewinding the whole job.
+        self._recovery = recovery or PeerSyncRecovery()
 
     def queue_capacity(
         self, spec: OperatorSpec, parallelism: int
@@ -241,6 +275,9 @@ class TimelyRuntime(Runtime):
 
     def savepoint_model(self) -> SavepointModel:
         return self._savepoint
+
+    def recovery_model(self) -> RecoveryModel:
+        return self._recovery
 
 
 def _waterfill(

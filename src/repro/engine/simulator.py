@@ -422,10 +422,12 @@ class Simulator:
     def fail_instance(self, operator: str, index: int = 0) -> float:
         """Crash one operator instance (a TaskManager/worker loss).
 
-        Recovery mirrors the savepoint-and-restart mechanism: the job
-        halts for an outage proportional to total state size (the
-        runtime's :class:`~repro.dataflow.state.SavepointModel`), then
-        every instance restarts from the last consistent snapshot with
+        The outage is charged by the runtime's
+        :class:`~repro.engine.recovery.RecoveryModel`: a full
+        savepoint restore proportional to total state on Flink, a peer
+        re-sync of the failed worker's shard on Timely, a container
+        restart on Heron. The job halts for that outage, then every
+        instance restarts from the last consistent snapshot with
         queued records intact. If a reconfiguration is already in
         flight, the crash extends its outage and the pending plan still
         applies at the end. Returns the recovery outage in seconds.
@@ -438,8 +440,8 @@ class Simulator:
                 f"unknown instance {operator!r} index {index} "
                 f"(parallelism {len(instances)})"
             )
-        outage = self._runtime.savepoint_model().outage_seconds(
-            self._state.total_bytes
+        outage = self._runtime.recovery_model().outage_seconds(
+            self._state.snapshot(), self._plan.parallelism, operator
         )
         self._crash_count += 1
         if outage > 0:

@@ -16,6 +16,8 @@ Module                 Paper content
 ``skew_experiment``    Section 4.2.3 (DS2 under data skew)
 ``fault_tolerance``    Robustness extension: convergence under injected
                        faults (crashes, metric dropout, failed rescales)
+``chaos``              Robustness extension: seeded chaos campaigns with
+                       SASO scorecards and per-runtime recovery models
 =====================  ====================================================
 
 Every experiment accepts scale knobs (durations, tick size) so the

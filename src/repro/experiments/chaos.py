@@ -1,0 +1,304 @@
+"""Chaos campaigns: many seeded fault storms, scored per controller.
+
+Where :mod:`repro.experiments.fault_tolerance` replays *one* hand-built
+three-phase fault campaign, this experiment samples *many* randomized
+campaigns from a :class:`~repro.faults.campaigns.CampaignProfile` and
+scores every controller's run into a SASO scorecard, so robustness
+claims rest on a distribution instead of an anecdote:
+
+* **ds2** — the hardened scaling manager (completeness compensation,
+  degraded-mode floor, stale/truncated-window guards, retry+backoff);
+* **ds2-legacy** — the same policy with every hardening flag off;
+* **dhalion** — the backpressure-driven baseline.
+
+All campaigns run the Heron wordcount benchmark (section 5.2 of the
+paper). A second pass replays a crash-only profile on all three
+runtimes to expose their distinct recovery models (savepoint restore
+vs. peer re-sync vs. container restart; see
+:mod:`repro.engine.recovery`).
+
+Everything is deterministic: same profile, seed, and campaign count ⇒
+byte-identical scorecards and report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.baselines import DhalionConfig, DhalionController
+from repro.core.controller import Controller
+from repro.engine.runtimes import (
+    FlinkRuntime,
+    HeronRuntime,
+    Runtime,
+    TimelyRuntime,
+)
+from repro.dataflow.physical import PhysicalPlan
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.errors import FaultInjectionError
+from repro.experiments.comparison import HERON_POLICY_INTERVAL
+from repro.experiments.fault_tolerance import (
+    SOURCE_PARALLELISM,
+    _ds2_controller,
+)
+from repro.faults.injector import FaultInjector
+from repro.experiments.report import format_table
+from repro.faults.campaigns import (
+    PROFILES,
+    AggregateScore,
+    CampaignGenerator,
+    CampaignProfile,
+    CampaignRunner,
+    CampaignTargets,
+    SasoScorecard,
+    aggregate_scorecards,
+)
+from repro.workloads.wordcount import (
+    COUNT,
+    FLATMAP,
+    SINK,
+    SOURCE,
+    heron_wordcount_graph,
+)
+
+#: Default campaign batch (the ISSUE's acceptance run).
+DEFAULT_PROFILE = "mixed"
+DEFAULT_CAMPAIGNS = 20
+
+#: Campaigns replayed per runtime for the recovery-model comparison.
+RECOVERY_CAMPAIGNS = 5
+
+
+def chaos_controllers() -> Dict[str, Callable[[], Controller]]:
+    """Fresh-instance factories for the three contenders."""
+    return {
+        "ds2": lambda: _ds2_controller(True),
+        "ds2-legacy": lambda: _ds2_controller(False),
+        "dhalion": lambda: DhalionController(DhalionConfig()),
+    }
+
+
+def resolve_profile(name: str) -> CampaignProfile:
+    """Look up a built-in profile, with a helpful error."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise FaultInjectionError(
+            f"unknown chaos profile {name!r} "
+            f"(expected one of {', '.join(sorted(PROFILES))})"
+        ) from None
+
+
+def _wordcount_runner(
+    runtime: Runtime,
+    tick: float,
+    controllers: Mapping[str, Callable[[], Controller]],
+) -> CampaignRunner:
+    return CampaignRunner(
+        graph=heron_wordcount_graph(),
+        runtime=runtime,
+        initial_parallelism={
+            SOURCE: SOURCE_PARALLELISM,
+            FLATMAP: 1,
+            COUNT: 1,
+            SINK: 1,
+        },
+        controllers=controllers,
+        policy_interval=HERON_POLICY_INTERVAL,
+        engine_config=EngineConfig(
+            tick=tick,
+            track_record_latency=False,
+            source_catchup_factor=1.3,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """One chaos batch: raw scorecards, per-controller aggregates, and
+    (optionally) per-runtime crash-recovery outage samples."""
+
+    profile: str
+    campaigns: int
+    seed: int
+    scorecards: List[SasoScorecard]
+    aggregates: Dict[str, AggregateScore]
+    recovery: Dict[str, List[float]]
+
+    def ranking(self) -> List[str]:
+        """Controllers from best (lowest mean score) to worst."""
+        return sorted(
+            self.aggregates,
+            key=lambda name: self.aggregates[name].mean_score,
+        )
+
+
+def run_chaos(
+    profile: str = DEFAULT_PROFILE,
+    campaigns: int = DEFAULT_CAMPAIGNS,
+    seed: int = 1,
+    tick: float = 1.0,
+    include_recovery: bool = True,
+) -> ChaosResult:
+    """Run ``campaigns`` sampled campaigns × three controllers.
+
+    Args:
+        profile: Built-in profile name (see
+            :data:`repro.faults.campaigns.PROFILES`).
+        campaigns: Number of sampled campaigns (one seed each).
+        seed: Master seed of the campaign generator.
+        tick: Engine tick; 1.0 keeps a 20-campaign batch under a
+            minute of wall clock.
+        include_recovery: Also replay the crash-only profile on all
+            three runtimes (skipped by fast smoke paths).
+    """
+    spec = resolve_profile(profile)
+    graph = heron_wordcount_graph()
+    generator = CampaignGenerator(
+        spec, CampaignTargets.from_graph(graph), seed=seed
+    )
+    runner = _wordcount_runner(HeronRuntime(), tick, chaos_controllers())
+    scorecards = runner.run(generator, campaigns)
+    recovery: Dict[str, List[float]] = {}
+    if include_recovery:
+        recovery = recovery_distributions(seed=seed, tick=tick)
+    return ChaosResult(
+        profile=spec.name,
+        campaigns=int(campaigns),
+        seed=int(seed),
+        scorecards=scorecards,
+        aggregates=aggregate_scorecards(scorecards),
+        recovery=recovery,
+    )
+
+
+def recovery_distributions(
+    campaigns: int = RECOVERY_CAMPAIGNS,
+    seed: int = 1,
+    tick: float = 1.0,
+) -> Dict[str, List[float]]:
+    """Crash-recovery outage samples per runtime.
+
+    Replays the same crash-only campaigns on the Flink-, Timely-, and
+    Heron-style runtimes at a fixed uniform configuration — no
+    controller, so the distributions measure the recovery *mechanism*,
+    not the scaling policy (Timely additionally requires uniform
+    parallelism). Per-crash outages come from each runtime's
+    :class:`~repro.engine.recovery.RecoveryModel`, so the three
+    distributions should be visibly distinct: savepoint restore grows
+    with total keyed state, peer re-sync with the lost worker's shard,
+    container restart stays near-constant.
+    """
+    spec = PROFILES["crashes"]
+    graph = heron_wordcount_graph()
+    generator = CampaignGenerator(
+        spec, CampaignTargets.from_graph(graph), seed=seed
+    )
+    parallelism = {name: 2 for name in graph.names}
+    config = EngineConfig(
+        tick=tick,
+        track_record_latency=False,
+        source_catchup_factor=1.3,
+    )
+    outages: Dict[str, List[float]] = {}
+    for label, runtime in (
+        ("flink", FlinkRuntime()),
+        ("timely", TimelyRuntime()),
+        ("heron", HeronRuntime()),
+    ):
+        samples: List[float] = []
+        for campaign in range(campaigns):
+            schedule = generator.schedule(campaign)
+            simulator = Simulator(
+                plan=PhysicalPlan(
+                    graph=graph, parallelism=dict(parallelism)
+                ),
+                runtime=runtime,
+                config=config,
+            )
+            injector = FaultInjector(simulator, schedule)
+            while simulator.time < spec.duration:
+                injector.step()
+            samples.extend(
+                outage for _, outage in injector.crash_outages
+            )
+        outages[label] = samples
+    return outages
+
+
+def chaos_report(result: ChaosResult) -> str:
+    """The chaos batch's summary tables (deterministic text)."""
+    rows: List[Tuple[object, ...]] = []
+    for name in result.ranking():
+        agg = result.aggregates[name]
+        rows.append(
+            (
+                name,
+                f"{agg.mean_score:.3f}",
+                f"{agg.mean_oscillations:.2f}",
+                f"{agg.mean_steady_state_error:.3f}",
+                f"{agg.mean_settling_epochs:.1f}",
+                f"{agg.mean_overshoot_ratio:.2f}",
+                f"{agg.mean_downtime_fraction:.3f}",
+                agg.total_failed_rescales,
+            )
+        )
+    report = format_table(
+        (
+            "controller",
+            "score",
+            "osc",
+            "ss err",
+            "settle",
+            "overshoot",
+            "downtime",
+            "failed",
+        ),
+        rows,
+        title=(
+            f"Chaos campaign '{result.profile}' "
+            f"({result.campaigns} campaigns, seed {result.seed}; "
+            f"lower score is better)"
+        ),
+    )
+    if result.recovery:
+        recovery_rows: List[Tuple[object, ...]] = []
+        for runtime in sorted(result.recovery):
+            samples = result.recovery[runtime]
+            if samples:
+                mean = sum(samples) / len(samples)
+                low, high = min(samples), max(samples)
+            else:
+                mean = low = high = 0.0
+            recovery_rows.append(
+                (
+                    runtime,
+                    len(samples),
+                    f"{mean:.1f}",
+                    f"{low:.1f}",
+                    f"{high:.1f}",
+                )
+            )
+        report += "\n\n" + format_table(
+            ("runtime", "crashes", "mean s", "min s", "max s"),
+            recovery_rows,
+            title=(
+                "Crash-recovery outage per runtime "
+                "(crash-only campaigns, fixed configuration)"
+            ),
+        )
+    return report
+
+
+__all__ = [
+    "ChaosResult",
+    "DEFAULT_CAMPAIGNS",
+    "DEFAULT_PROFILE",
+    "RECOVERY_CAMPAIGNS",
+    "chaos_controllers",
+    "chaos_report",
+    "recovery_distributions",
+    "resolve_profile",
+    "run_chaos",
+]

@@ -1,10 +1,12 @@
 """Deterministic fault injection for the simulated control loop.
 
-The subsystem has three parts: declarative, validated fault *events*
+The subsystem has four parts: declarative, validated fault *events*
 (:mod:`repro.faults.events`), a seeded, replayable *schedule* of them
-(:mod:`repro.faults.schedule`), and an *injector* shim that applies a
+(:mod:`repro.faults.schedule`), an *injector* shim that applies a
 schedule to a live simulator without forking it
-(:mod:`repro.faults.injector`).
+(:mod:`repro.faults.injector`), and seeded chaos *campaigns* that
+sample many schedules from a declarative profile and score controllers
+under them (:mod:`repro.faults.campaigns`).
 """
 
 from repro.faults.events import (
@@ -18,7 +20,29 @@ from repro.faults.events import (
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule, parse_faults
 
+# Imported last: campaigns lazily reaches into repro.experiments, which
+# itself imports the names above.
+from repro.faults.campaigns import (
+    FAULT_KINDS,
+    PROFILES,
+    SCORE_WEIGHTS,
+    AggregateScore,
+    CampaignGenerator,
+    CampaignProfile,
+    CampaignRunner,
+    CampaignTargets,
+    SasoScorecard,
+    aggregate_scorecards,
+    score_campaign_run,
+)
+
 __all__ = [
+    "AggregateScore",
+    "CampaignGenerator",
+    "CampaignProfile",
+    "CampaignRunner",
+    "CampaignTargets",
+    "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultSchedule",
@@ -26,6 +50,11 @@ __all__ = [
     "MetricCorruption",
     "MetricDropout",
     "MetricLag",
+    "PROFILES",
     "RescaleFailure",
+    "SCORE_WEIGHTS",
+    "SasoScorecard",
+    "aggregate_scorecards",
     "parse_faults",
+    "score_campaign_run",
 ]

@@ -13,7 +13,11 @@ Injection points:
 
 * ``step`` — fires due one-shot events (instance crashes, arming
   rescale failures) and keeps the metric-dropout suppression set in
-  sync with the active events.
+  sync with the active events. A crash's outage is charged by the
+  *runtime's* :class:`~repro.engine.recovery.RecoveryModel` (via
+  :meth:`~repro.engine.simulator.Simulator.fail_instance`) — savepoint
+  restore on Flink, peer re-sync on Timely, container restart on
+  Heron — never hardcoded here.
 * ``collect_metrics`` — depresses source telemetry under source
   dropout, miscounts records under corruption, and re-delivers /
   merges windows under metrics lag.
@@ -25,7 +29,9 @@ Injection points:
   events reject the request (``abort``) or charge a full
   savepoint-and-restart outage first (``timeout``); either way the old
   configuration keeps running and the request raises
-  :class:`~repro.errors.ReconfigurationError`.
+  :class:`~repro.errors.ReconfigurationError`. The *timeout* cost is
+  deliberately the savepoint model, not the recovery model: a timed-out
+  rescale is a failed reconfiguration, not a crash.
 """
 
 from __future__ import annotations
@@ -64,6 +70,10 @@ class FaultInjector:
         self._last_delivered: Optional[MetricsWindow] = None
         # Human-readable record of every injection, for reports/tests.
         self._log: List[Tuple[float, str]] = []
+        # (virtual time, outage seconds) per fired instance crash —
+        # the structured view campaign scorers aggregate into
+        # per-runtime recovery-time distributions.
+        self._crash_outages: List[Tuple[float, float]] = []
 
     def __getattr__(self, name: str):
         # Everything not intercepted goes straight to the simulator
@@ -86,6 +96,11 @@ class FaultInjector:
     def injection_log(self) -> List[Tuple[float, str]]:
         """(virtual time, description) per injected fault action."""
         return list(self._log)
+
+    @property
+    def crash_outages(self) -> List[Tuple[float, float]]:
+        """(virtual time, recovery outage seconds) per fired crash."""
+        return list(self._crash_outages)
 
     @property
     def armed_rescale_failures(self) -> int:
@@ -165,6 +180,7 @@ class FaultInjector:
                 # Clamp: the schedule may predate a scale-down.
                 idx = min(event.index, parallelism - 1)
                 outage = self._sim.fail_instance(event.operator, idx)
+                self._crash_outages.append((now, outage))
                 self._note(
                     f"crashed {event.operator}[{idx}]; recovery "
                     f"outage {outage:.1f}s"

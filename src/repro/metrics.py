@@ -358,6 +358,43 @@ class MetricsWindow:
         return pushed / pulled
 
 
+def downtime_seconds(windows: Iterable[MetricsWindow]) -> float:
+    """Total seconds the job was down across a sequence of windows.
+
+    Each window reports the fraction of its span spent in an outage
+    (reconfiguration or crash recovery); summing ``fraction × duration``
+    recovers absolute downtime — the availability denominator of the
+    chaos scorecards.
+    """
+    return sum(w.outage_fraction * w.duration for w in windows)
+
+
+def mean_source_shortfall(
+    windows: Iterable[MetricsWindow],
+    target_rates: Mapping[str, float],
+) -> float:
+    """Mean relative shortfall of observed source rates vs targets.
+
+    For each window and each source in ``target_rates``, the shortfall
+    is ``max(0, 1 - observed/target)`` — how far the job fell below the
+    offered load; rates above target (backlog drain) do not count as
+    error. Returns the mean over all (window, source) pairs, 0.0 when
+    there is nothing to score.
+    """
+    shortfalls: List[float] = []
+    for window in windows:
+        for name, target in target_rates.items():
+            if target <= 0:
+                continue
+            observed = window.source_observed_rates.get(name)
+            if observed is None:
+                continue
+            shortfalls.append(max(0.0, 1.0 - observed / target))
+    if not shortfalls:
+        return 0.0
+    return sum(shortfalls) / len(shortfalls)
+
+
 def merge_windows(windows: Iterable[MetricsWindow]) -> MetricsWindow:
     """Merge adjacent metric windows into one (counters summed, health
     taken from the latest window)."""
@@ -396,6 +433,8 @@ __all__ = [
     "InstanceCounters",
     "MetricsWindow",
     "OperatorHealth",
+    "downtime_seconds",
+    "mean_source_shortfall",
     "merge_windows",
     "MIN_USEFUL_FRACTION",
 ]

@@ -1,0 +1,250 @@
+"""Unit tests of the chaos-campaign subsystem."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    FAULT_KINDS,
+    PROFILES,
+    CampaignGenerator,
+    CampaignProfile,
+    CampaignTargets,
+    InstanceCrash,
+    MetricCorruption,
+    MetricDropout,
+    MetricLag,
+    RescaleFailure,
+    SasoScorecard,
+    aggregate_scorecards,
+)
+
+TARGETS = CampaignTargets(sources=("src",), operators=("fm", "ct"))
+
+EVENT_KINDS = {
+    InstanceCrash: "crash",
+    MetricDropout: "dropout",
+    MetricLag: "lag",
+    MetricCorruption: "corrupt",
+    RescaleFailure: "rescale-fail",
+}
+
+
+class TestCampaignProfile:
+    def test_builtin_profiles_are_valid_and_named_consistently(self):
+        assert set(PROFILES) >= {"mixed", "crashes", "telemetry", "smoke"}
+        for name, profile in PROFILES.items():
+            assert profile.name == name
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault"):
+            CampaignProfile(name="bad", mix={"meteor": 1.0})
+
+    def test_rejects_all_zero_mix(self):
+        with pytest.raises(FaultInjectionError, match="positive"):
+            CampaignProfile(name="bad", mix={"crash": 0.0})
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(FaultInjectionError, match=">= 0"):
+            CampaignProfile(name="bad", mix={"crash": -1.0})
+
+    def test_rejects_quiet_head_beyond_duration(self):
+        with pytest.raises(FaultInjectionError, match="quiet_head"):
+            CampaignProfile(
+                name="bad", mix={"crash": 1.0},
+                duration=100.0, quiet_head=100.0,
+            )
+
+    def test_rejects_inverted_parameter_range(self):
+        with pytest.raises(FaultInjectionError, match="dropout_fraction"):
+            CampaignProfile(
+                name="bad", mix={"dropout": 1.0},
+                dropout_fraction=(0.9, 0.1),
+            )
+
+    def test_rejects_sub_unit_burstiness(self):
+        with pytest.raises(FaultInjectionError, match="burstiness"):
+            CampaignProfile(
+                name="bad", mix={"crash": 1.0}, burstiness=0.5
+            )
+
+    def test_kinds_follow_positive_weights(self):
+        profile = CampaignProfile(
+            name="p", mix={"crash": 1.0, "lag": 0.0, "dropout": 2.0}
+        )
+        assert profile.kinds == ("crash", "dropout")
+
+
+class TestCampaignTargets:
+    def test_rejects_empty_pools(self):
+        with pytest.raises(FaultInjectionError):
+            CampaignTargets(sources=(), operators=())
+
+    def test_from_graph_uses_sources_and_scalable_operators(self):
+        from repro.workloads.wordcount import (
+            COUNT,
+            FLATMAP,
+            SOURCE,
+            heron_wordcount_graph,
+        )
+
+        targets = CampaignTargets.from_graph(heron_wordcount_graph())
+        assert SOURCE in targets.sources
+        assert set(targets.operators) == {FLATMAP, COUNT}
+
+
+class TestCampaignGenerator:
+    def test_same_inputs_same_schedule(self):
+        first = CampaignGenerator(PROFILES["mixed"], TARGETS, seed=5)
+        second = CampaignGenerator(PROFILES["mixed"], TARGETS, seed=5)
+        for campaign in range(4):
+            assert first.schedule(campaign) == second.schedule(campaign)
+
+    def test_different_seed_or_campaign_differs(self):
+        generator = CampaignGenerator(PROFILES["mixed"], TARGETS, seed=5)
+        other = CampaignGenerator(PROFILES["mixed"], TARGETS, seed=6)
+        assert generator.schedule(0) != generator.schedule(1)
+        assert generator.schedule(0) != other.schedule(0)
+
+    def test_different_profiles_differ(self):
+        mixed = CampaignGenerator(PROFILES["mixed"], TARGETS, seed=5)
+        telemetry = CampaignGenerator(
+            PROFILES["telemetry"], TARGETS, seed=5
+        )
+        assert mixed.schedule(0) != telemetry.schedule(0)
+
+    def test_events_respect_window_mix_and_pools(self):
+        profile = PROFILES["mixed"]
+        generator = CampaignGenerator(profile, TARGETS, seed=3)
+        for campaign in range(5):
+            schedule = generator.schedule(campaign)
+            assert len(schedule) > 0
+            for event in schedule.events:
+                assert (
+                    profile.quiet_head
+                    <= event.time
+                    <= profile.duration
+                )
+                assert EVENT_KINDS[type(event)] in profile.kinds
+                if isinstance(event, (InstanceCrash, MetricCorruption)):
+                    assert event.operator in TARGETS.operators
+                elif isinstance(event, MetricDropout):
+                    assert event.operator in (
+                        TARGETS.sources + TARGETS.operators
+                    )
+
+    def test_single_kind_profile_samples_only_that_kind(self):
+        generator = CampaignGenerator(
+            PROFILES["crashes"], TARGETS, seed=2
+        )
+        events = generator.schedule(0).events
+        assert events
+        assert all(isinstance(e, InstanceCrash) for e in events)
+
+    def test_schedules_is_the_index_range(self):
+        generator = CampaignGenerator(PROFILES["smoke"], TARGETS, seed=1)
+        assert generator.schedules(3) == [
+            generator.schedule(0),
+            generator.schedule(1),
+            generator.schedule(2),
+        ]
+
+    def test_crash_profile_needs_operator_pool(self):
+        sources_only = CampaignTargets(sources=("src",), operators=())
+        with pytest.raises(FaultInjectionError, match="no operators"):
+            CampaignGenerator(PROFILES["crashes"], sources_only)
+
+    def test_bursty_profile_clusters_events(self):
+        """With burstiness, event times concentrate around few centers:
+        the typical (median) neighbour gap shrinks well below uniform.
+        (The *mean* gap would not move — gaps always sum to the span.)"""
+        calm = CampaignProfile(
+            name="calm", mix={"lag": 1.0}, events_per_1000s=20.0
+        )
+        stormy = dataclasses.replace(
+            calm, name="stormy", burstiness=4.0
+        )
+
+        def median_gap(profile):
+            generator = CampaignGenerator(profile, TARGETS, seed=11)
+            gaps = []
+            for campaign in range(10):
+                times = sorted(
+                    e.time for e in generator.schedule(campaign).events
+                )
+                gaps.extend(
+                    b - a for a, b in zip(times, times[1:])
+                )
+            return sorted(gaps)[len(gaps) // 2]
+
+        assert median_gap(stormy) < 0.5 * median_gap(calm)
+
+
+def _card(controller, campaign, **overrides):
+    values = dict(
+        controller=controller,
+        campaign=campaign,
+        schedule_seed=7,
+        oscillations=2,
+        steady_state_error=0.1,
+        settling_epochs=4,
+        overshoot_ratio=1.5,
+        downtime_fraction=0.2,
+        recovery_seconds=30.0,
+        scaling_actions=3,
+        failed_rescales=1,
+    )
+    values.update(overrides)
+    return SasoScorecard(**values)
+
+
+class TestScorecard:
+    def test_score_combines_the_saso_components(self):
+        card = _card("ds2", 0)
+        assert card.score == pytest.approx(
+            1.0 * 2 + 10.0 * 0.1 + 0.1 * 4 + 5.0 * 0.5 + 5.0 * 0.2
+        )
+
+    def test_no_overshoot_is_not_rewarded_below_one(self):
+        """An undershooting trajectory (ratio < 1) must not subtract
+        from the score."""
+        flat = _card("ds2", 0, overshoot_ratio=1.0)
+        under = _card("ds2", 0, overshoot_ratio=0.5)
+        assert under.score == flat.score
+
+    def test_perfect_run_scores_zero(self):
+        card = _card(
+            "ds2", 0,
+            oscillations=0, steady_state_error=0.0,
+            settling_epochs=0, overshoot_ratio=1.0,
+            downtime_fraction=0.0, recovery_seconds=0.0,
+            scaling_actions=0, failed_rescales=0,
+        )
+        assert card.score == 0.0
+
+
+class TestAggregation:
+    def test_groups_by_controller_and_averages(self):
+        cards = [
+            _card("ds2", 0, oscillations=0),
+            _card("ds2", 1, oscillations=4),
+            _card("dhalion", 0, failed_rescales=2),
+        ]
+        aggregates = aggregate_scorecards(cards)
+        assert set(aggregates) == {"ds2", "dhalion"}
+        ds2 = aggregates["ds2"]
+        assert ds2.campaigns == 2
+        assert ds2.mean_oscillations == pytest.approx(2.0)
+        assert ds2.mean_score == pytest.approx(
+            (cards[0].score + cards[1].score) / 2
+        )
+        assert aggregates["dhalion"].total_failed_rescales == 2
+
+    def test_empty_input_is_empty(self):
+        assert aggregate_scorecards([]) == {}
+
+
+class TestKindsVocabulary:
+    def test_fault_kinds_match_the_grammar(self):
+        assert set(FAULT_KINDS) == set(EVENT_KINDS.values())

@@ -1,0 +1,87 @@
+"""Fast chaos smoke campaign (tier-1 CI).
+
+One small profile × two sampled campaigns on the Heron wordcount,
+plus the per-runtime recovery comparison at reduced scale — enough to
+catch wiring regressions in the campaign subsystem without the cost of
+the full ``repro run chaos`` batch (which lives in benchmarks).
+"""
+
+import pytest
+
+from repro.experiments.chaos import (
+    chaos_report,
+    recovery_distributions,
+    resolve_profile,
+    run_chaos,
+)
+from repro.errors import FaultInjectionError
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_chaos(
+        profile="smoke", campaigns=2, seed=1, include_recovery=False
+    )
+
+
+class TestSmokeCampaign:
+    def test_full_matrix_is_scored(self, smoke_result):
+        assert smoke_result.profile == "smoke"
+        assert smoke_result.campaigns == 2
+        # 2 campaigns × 3 controllers.
+        assert len(smoke_result.scorecards) == 6
+        assert set(smoke_result.aggregates) == {
+            "ds2",
+            "ds2-legacy",
+            "dhalion",
+        }
+
+    def test_faults_actually_fired(self, smoke_result):
+        """Every campaign injects at least one fault into every run —
+        otherwise the scorecards measure a healthy job."""
+        assert all(
+            card.downtime_fraction > 0
+            for card in smoke_result.scorecards
+        )
+
+    def test_hardened_ds2_is_not_beaten(self, smoke_result):
+        ds2 = smoke_result.aggregates["ds2"].mean_score
+        assert ds2 <= smoke_result.aggregates["ds2-legacy"].mean_score
+        assert ds2 < smoke_result.aggregates["dhalion"].mean_score
+        assert smoke_result.ranking()[0] == "ds2"
+
+    def test_replay_is_byte_identical(self, smoke_result):
+        replay = run_chaos(
+            profile="smoke", campaigns=2, seed=1, include_recovery=False
+        )
+        assert replay.scorecards == smoke_result.scorecards
+        assert chaos_report(replay) == chaos_report(smoke_result)
+
+    def test_report_mentions_every_controller(self, smoke_result):
+        report = chaos_report(smoke_result)
+        for name in ("ds2", "ds2-legacy", "dhalion"):
+            assert name in report
+
+
+class TestRecoveryComparison:
+    def test_runtimes_have_distinct_distributions(self):
+        samples = recovery_distributions(campaigns=1, seed=1)
+        assert set(samples) == {"flink", "timely", "heron"}
+        means = {
+            runtime: sum(values) / len(values)
+            for runtime, values in samples.items()
+        }
+        # Full savepoint restore > container restart > peer re-sync.
+        assert means["flink"] > means["heron"] > means["timely"]
+        # Same crash schedule everywhere: equal sample counts.
+        counts = {len(values) for values in samples.values()}
+        assert len(counts) == 1
+
+
+class TestProfileResolution:
+    def test_known_profile_resolves(self):
+        assert resolve_profile("mixed").name == "mixed"
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(FaultInjectionError, match="unknown chaos"):
+            resolve_profile("volcano")

@@ -52,6 +52,29 @@ class TestParser:
         assert main(["run", "faults", "--faults", "nonsense"]) == 2
         assert "invalid fault spec" in capsys.readouterr().err
 
+    def test_chaos_arguments_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "run", "chaos",
+            "--profile", "telemetry",
+            "--seeds", "5",
+            "--fault-seed", "3",
+        ])
+        assert args.experiment == "chaos"
+        assert args.profile == "telemetry"
+        assert args.seeds == 5
+        assert args.fault_seed == 3
+
+    def test_chaos_flags_rejected_for_other_experiments(self, capsys):
+        assert main(["run", "fig6", "--profile", "mixed"]) == 2
+        assert "--profile" in capsys.readouterr().err
+        assert main(["run", "faults", "--seeds", "3"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_unknown_chaos_profile_rejected(self, capsys):
+        assert main(["run", "chaos", "--profile", "volcano"]) == 2
+        assert "invalid chaos campaign" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_decide_prints_optimum(self, capsys):
@@ -66,3 +89,15 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "50%" in out
         assert "no-skew optimum" in out
+
+    @pytest.mark.slow
+    def test_run_chaos_smoke_profile(self, capsys):
+        assert main([
+            "run", "chaos", "--profile", "smoke", "--seeds", "2",
+            "--scale", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos campaign 'smoke'" in out
+        assert "Crash-recovery outage per runtime" in out
+        for runtime in ("flink", "timely", "heron"):
+            assert runtime in out
