@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Tier-2 quality gate: static analysis + the full test suite.
+#
+# Usage: scripts/check.sh [--fast]
+#
+#   --fast   skip the pytest stage (lint/type-check only)
+#
+# Stages (in order):
+#   1. ruff          - style/correctness lint (skipped if not installed)
+#   2. mypy          - type check (skipped if not installed)
+#   3. repro lint    - in-tree determinism linter (always runs)
+#   4. repro check-graph --all
+#                    - graph invariants for every built-in workload
+#   5. pytest        - tier-1 test suite
+#
+# ruff and mypy are optional dev dependencies (`pip install -e .[lint]`).
+# When they are missing the stage is skipped with a notice rather than
+# failing, so the gate is usable in minimal containers; the in-tree
+# stages (3-5) have no third-party dependencies and always run.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        *)
+            echo "usage: scripts/check.sh [--fast]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+FAILURES=0
+
+run_stage() {
+    local name="$1"
+    shift
+    echo "==> ${name}"
+    if "$@"; then
+        echo "==> ${name}: OK"
+    else
+        echo "==> ${name}: FAILED" >&2
+        FAILURES=$((FAILURES + 1))
+    fi
+    echo
+}
+
+skip_stage() {
+    echo "==> $1: SKIPPED ($2)"
+    echo
+}
+
+if command -v ruff >/dev/null 2>&1; then
+    run_stage "ruff" ruff check src tests benchmarks examples
+else
+    skip_stage "ruff" "not installed; pip install -e .[lint]"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    run_stage "mypy" mypy
+else
+    skip_stage "mypy" "not installed; pip install -e .[lint]"
+fi
+
+run_stage "repro lint" python -m repro lint src/repro
+run_stage "repro check-graph" python -m repro check-graph --all
+
+if [ "$FAST" -eq 1 ]; then
+    skip_stage "pytest" "--fast"
+else
+    run_stage "pytest" python -m pytest -x -q
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+    echo "check.sh: ${FAILURES} stage(s) failed" >&2
+    exit 1
+fi
+echo "check.sh: all stages passed"

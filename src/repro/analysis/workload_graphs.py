@@ -1,0 +1,107 @@
+"""The registry of built-in workload graphs, for ``repro check-graph``.
+
+Every logical graph the experiments can deploy is nameable here, so
+``repro check-graph --all`` is a one-command audit that the whole
+workload catalog satisfies the graph invariants — the property test in
+``tests/analysis/test_graphcheck.py`` asserts exactly that.
+
+Builders are registered lazily (callables, imported on first use) so
+importing :mod:`repro.analysis` stays cheap and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
+
+from repro.analysis.rules import AnalysisError
+
+if TYPE_CHECKING:
+    from repro.dataflow.graph import LogicalGraph
+
+
+def _wordcount_heron() -> "LogicalGraph":
+    from repro.workloads.wordcount import heron_wordcount_graph
+
+    return heron_wordcount_graph()
+
+
+def _wordcount_flink() -> "LogicalGraph":
+    from repro.workloads.wordcount import flink_wordcount_graph
+
+    return flink_wordcount_graph()
+
+
+def _skewed_wordcount() -> "LogicalGraph":
+    from repro.workloads.skew import heron_skewed_wordcount
+
+    return heron_skewed_wordcount(0.5).graph
+
+
+def _nexmark_builder(
+    name: str, flavor: str
+) -> Callable[[], "LogicalGraph"]:
+    def build() -> "LogicalGraph":
+        from repro.workloads.nexmark import (
+            get_extended_query,
+            get_query,
+        )
+
+        try:
+            query = get_query(name)
+        except Exception:
+            query = get_extended_query(name)
+        if flavor == "flink":
+            return query.flink_graph()
+        return query.timely_graph()
+
+    return build
+
+
+def builtin_graph_builders() -> Dict[str, Callable[[], "LogicalGraph"]]:
+    """Name -> zero-argument builder returning a ``LogicalGraph``."""
+    builders: Dict[str, Callable[[], "LogicalGraph"]] = {
+        "wordcount-heron": _wordcount_heron,
+        "wordcount-flink": _wordcount_flink,
+        "wordcount-skew": _skewed_wordcount,
+    }
+    for query in _query_names():
+        builders[f"{query.lower()}-flink"] = _nexmark_builder(
+            query, "flink"
+        )
+        builders[f"{query.lower()}-timely"] = _nexmark_builder(
+            query, "timely"
+        )
+    return builders
+
+
+def _query_names() -> Tuple[str, ...]:
+    from repro.workloads.nexmark import ALL_QUERIES, EXTENDED_QUERIES
+
+    return tuple(
+        q.name for q in tuple(ALL_QUERIES) + tuple(EXTENDED_QUERIES)
+    )
+
+
+def builtin_graph_names() -> Tuple[str, ...]:
+    """Every registered graph name, in registry order."""
+    return tuple(builtin_graph_builders())
+
+
+def build_graph(name: str) -> "LogicalGraph":
+    """Build one named graph; raises
+    :class:`~repro.analysis.rules.AnalysisError` for unknown names."""
+    builders = builtin_graph_builders()
+    builder = builders.get(name.lower())
+    if builder is None:
+        raise AnalysisError(
+            f"unknown graph {name!r}; known: "
+            f"{', '.join(builders)}"
+        )
+    return builder()
+
+
+__all__ = [
+    "build_graph",
+    "builtin_graph_builders",
+    "builtin_graph_names",
+]

@@ -8,6 +8,11 @@ Commands:
   and print the regenerated rows.
 * ``decide`` — one-shot DS2 sizing of the Heron wordcount (the §5.2
   headline, in two seconds).
+* ``lint [paths]`` — the determinism linter over Python sources
+  (defaults to the installed ``repro`` package); non-zero exit on
+  violations, so CI can gate on it.
+* ``check-graph [graphs]`` — the dataflow-graph static checker over
+  built-in workload graphs (``--all``) or a JSON spec (``--spec``).
 """
 
 from __future__ import annotations
@@ -281,6 +286,92 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        LINT_RULES,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+    from repro.analysis.rules import AnalysisError
+
+    if args.list_rules:
+        print(format_table(
+            ("id", "name", "summary"),
+            [(rule.id, rule.name, rule.summary)
+             for rule in LINT_RULES],
+            title="determinism lint rules "
+                  "(suppress with '# repro: allow[ID]')",
+        ))
+        return 0
+    paths = args.paths
+    if not paths:
+        import pathlib
+
+        import repro
+
+        paths = [str(pathlib.Path(repro.__file__).parent)]
+    def split_rules(value):
+        if value is None:
+            return None
+        return [r.strip() for r in value.split(",") if r.strip()]
+
+    try:
+        findings = lint_paths(
+            paths,
+            select=split_rules(args.select),
+            ignore=split_rules(args.ignore),
+        )
+    except AnalysisError as error:
+        print(f"lint error: {error}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings))
+    return 1 if findings else 0
+
+
+def cmd_check_graph(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        check_graph,
+        graph_spec_from_json,
+        render_json,
+        render_text,
+    )
+    from repro.analysis.report import Severity
+    from repro.analysis.rules import AnalysisError
+    from repro.analysis.workload_graphs import (
+        build_graph,
+        builtin_graph_names,
+    )
+
+    names = list(args.graphs)
+    if args.all:
+        names = list(builtin_graph_names())
+    if not names and args.spec is None:
+        print(
+            "nothing to check: name built-in graphs, pass --all, or "
+            f"--spec FILE\nbuilt-ins: {', '.join(builtin_graph_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    findings = []
+    try:
+        for name in names:
+            findings.extend(check_graph(build_graph(name), name=name))
+        if args.spec is not None:
+            spec = graph_spec_from_json(args.spec)
+            findings.extend(check_graph(spec))
+    except (AnalysisError, ValueError) as error:
+        print(f"check-graph error: {error}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings))
+    has_error = any(
+        f.severity is Severity.ERROR for f in findings
+    )
+    return 1 if has_error else 0
+
+
 def cmd_decide(_args: argparse.Namespace) -> int:
     from repro.core import compute_optimal_parallelism
     from repro.dataflow.physical import PhysicalPlan
@@ -377,6 +468,70 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "decide", help="one-shot DS2 sizing of the Heron wordcount"
     ).set_defaults(func=cmd_decide)
+    lint = sub.add_parser(
+        "lint",
+        help="determinism linter over Python sources",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint (default: the installed "
+            "repro package)"
+        ),
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids/names to run exclusively",
+    )
+    lint.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids/names to skip",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        dest="list_rules",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(func=cmd_lint)
+    check = sub.add_parser(
+        "check-graph",
+        help="static checks on dataflow graphs",
+    )
+    check.add_argument(
+        "graphs",
+        nargs="*",
+        help="built-in graph names (see 'repro check-graph' bare)",
+    )
+    check.add_argument(
+        "--all",
+        action="store_true",
+        help="check every built-in workload graph",
+    )
+    check.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="check a JSON graph spec file",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    check.set_defaults(func=cmd_check_graph)
     return parser
 
 
@@ -390,4 +545,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piping report output into `head` & co. closes stdout early;
+        # exit quietly like other unix filters instead of tracebacking.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(1)

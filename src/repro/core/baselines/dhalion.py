@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.core.controller import Controller, Observation
 from repro.errors import PolicyError
@@ -125,7 +125,10 @@ class DhalionController(Controller):
         return None
 
     def notify_rescaled(
-        self, time: float, outage_seconds: float, new_parallelism
+        self,
+        time: float,
+        outage_seconds: float,
+        new_parallelism: Mapping[str, int],
     ) -> None:
         self._cooldown = self._config.cooldown_intervals
 

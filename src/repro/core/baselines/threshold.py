@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.core.controller import Controller, Observation
 from repro.errors import PolicyError
@@ -73,7 +73,10 @@ class ThresholdController(Controller):
         return changes or None
 
     def notify_rescaled(
-        self, time: float, outage_seconds: float, new_parallelism
+        self,
+        time: float,
+        outage_seconds: float,
+        new_parallelism: Mapping[str, int],
     ) -> None:
         self._cooldown = self._config.cooldown_intervals
 

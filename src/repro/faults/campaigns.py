@@ -600,6 +600,16 @@ class CampaignRunner:
     ) -> None:
         if not controllers:
             raise FaultInjectionError("runner needs >= 1 controller")
+        # Static checks before the first (expensive) campaign cell:
+        # a malformed graph or impossible starting parallelism fails
+        # here with every problem reported, not mid-batch.
+        from repro.analysis.graphcheck import ensure_valid_graph
+
+        ensure_valid_graph(
+            graph,
+            parallelism=dict(initial_parallelism),
+            name="campaign graph",
+        )
         self._graph = graph
         self._runtime = runtime
         self._initial = dict(initial_parallelism)

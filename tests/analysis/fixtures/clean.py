@@ -1,0 +1,10 @@
+"""Fixture: a file with zero findings under every rule."""
+
+import random
+
+
+def deterministic_pipeline(seed, values):
+    rng = random.Random(seed)
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    return sorted(set(shuffled))

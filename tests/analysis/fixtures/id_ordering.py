@@ -1,0 +1,18 @@
+"""Fixture: REPRO105 id()-based ordering, flagged and suppressed."""
+
+
+def flagged(items):
+    a = sorted(items, key=id)
+    b = min(items, key=id)
+    c = max(items, key=id)
+    return a, b, c
+
+
+def suppressed(items):
+    return sorted(items, key=id)  # repro: allow[REPRO105]
+
+
+def not_flagged(items):
+    # id() for identity comparison (not ordering) is fine.
+    first = items[0]
+    return [id(first)], sorted(items, key=str)

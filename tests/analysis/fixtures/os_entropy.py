@@ -1,0 +1,26 @@
+"""Fixture: REPRO103 OS entropy sources, flagged and suppressed."""
+
+import os
+import random
+import secrets
+import uuid
+
+
+def flagged():
+    a = os.urandom(16)
+    b = uuid.uuid4()
+    c = uuid.uuid1()
+    d = secrets.token_hex(8)
+    e = random.SystemRandom()
+    return a, b, c, d, e
+
+
+def suppressed():
+    a = os.urandom(16)  # repro: allow[REPRO103]
+    b = uuid.uuid4()  # repro: allow[os-entropy]
+    return a, b
+
+
+def not_flagged(payload):
+    # Deterministic UUIDs derived from content are fine.
+    return uuid.uuid5(uuid.NAMESPACE_URL, payload)

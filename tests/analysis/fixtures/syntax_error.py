@@ -1,0 +1,4 @@
+"""Fixture: REPRO100 unparseable source."""
+
+def broken(:
+    pass

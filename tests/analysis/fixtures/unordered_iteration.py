@@ -1,0 +1,32 @@
+"""Fixture: REPRO104 iteration over unordered collections, flagged
+and suppressed."""
+
+
+def flagged(names, mapping):
+    out = []
+    for name in set(names):
+        out.append(name)
+    for key in mapping.keys() | {"extra"}:
+        out.append(key)
+    listed = list({1, 2, 3})
+    comp = [x for x in frozenset(names)]
+    union = list(set(names).union({"y"}))
+    return out, listed, comp, union
+
+
+def suppressed(names):
+    for name in set(names):  # repro: allow[REPRO104]
+        pass
+    ok = list({1, 2})  # repro: allow[unordered-iteration]
+    return ok
+
+
+def not_flagged(names, mapping):
+    # sorted() imposes an order, membership tests don't iterate, and
+    # dict iteration is insertion-ordered.
+    for name in sorted(set(names)):
+        pass
+    hit = "x" in set(names)
+    for key in mapping:
+        pass
+    return hit

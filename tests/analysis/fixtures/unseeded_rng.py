@@ -1,0 +1,31 @@
+"""Fixture: REPRO102 module-level / unseeded RNG, flagged and
+suppressed."""
+
+import random
+from random import randint
+
+import numpy.random as npr
+
+
+def flagged():
+    a = random.random()
+    b = random.randint(0, 10)
+    c = random.seed()
+    d = randint(0, 3)
+    e = random.Random()
+    f = npr.default_rng()
+    g = npr.rand(3)
+    return a, b, c, d, e, f, g
+
+
+def suppressed():
+    a = random.random()  # repro: allow[REPRO102]
+    b = random.Random()  # repro: allow[unseeded-rng]
+    return a, b
+
+
+def not_flagged(seed):
+    # Seeded constructions are the sanctioned pattern.
+    rng = random.Random(seed)
+    gen = npr.default_rng(seed)
+    return rng.random(), gen

@@ -1,0 +1,27 @@
+"""Fixture: REPRO101 wall-clock calls, flagged and suppressed."""
+
+import datetime
+import time
+from datetime import datetime as dt
+
+
+def flagged():
+    a = time.time()
+    b = time.monotonic()
+    c = time.perf_counter_ns()
+    d = datetime.datetime.now()
+    e = dt.utcnow()
+    f = datetime.date.today()
+    return a, b, c, d, e, f
+
+
+def suppressed():
+    a = time.time()  # repro: allow[REPRO101]
+    b = datetime.datetime.now()  # repro: allow[wall-clock]
+    c = time.monotonic()  # repro: allow[*]
+    return a, b, c
+
+
+def not_flagged(clock):
+    # Calls on unrelated objects with the same attribute name are fine.
+    return clock.time()

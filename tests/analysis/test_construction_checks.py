@@ -1,0 +1,124 @@
+"""The graph checker runs at ``Simulator`` / ``CampaignRunner``
+construction time.
+
+``LogicalGraph`` and ``PhysicalPlan`` already fail fast on most
+malformations, so these hooks are defense-in-depth: they must accept
+every plan those types can produce, and they must actually *run* — a
+checker-detected error (injected here, since well-formed types cannot
+express one) aborts construction with :class:`repro.errors.GraphError`.
+"""
+
+import pytest
+
+import repro.analysis.graphcheck as graphcheck
+import repro.engine.simulator as simulator_module
+from repro.core.manager import DS2Controller, ManagerConfig
+from repro.core.policy import DS2Policy
+from repro.dataflow.graph import Edge, LogicalGraph
+from repro.dataflow.operators import (
+    CostModel,
+    RateSchedule,
+    map_operator,
+    sink,
+    source,
+)
+from repro.dataflow.physical import PhysicalPlan
+from repro.dataflow.state import SavepointModel
+from repro.engine.runtimes import FlinkRuntime
+from repro.engine.simulator import EngineConfig, Simulator
+from repro.errors import GraphError
+from repro.faults import CampaignRunner
+
+
+def _graph():
+    return LogicalGraph(
+        [
+            source("src", rate=RateSchedule.constant(1000.0)),
+            map_operator("op", costs=CostModel(processing_cost=1e-4)),
+            sink("snk"),
+        ],
+        [Edge("src", "op"), Edge("op", "snk")],
+    )
+
+
+def _simulator(graph):
+    return Simulator(
+        PhysicalPlan(graph, {"src": 1, "op": 2, "snk": 1}),
+        FlinkRuntime(savepoint=SavepointModel.instant()),
+        EngineConfig(tick=0.5, track_record_latency=False),
+    )
+
+
+def _campaign_runner(graph):
+    def ds2():
+        return DS2Controller(
+            DS2Policy(graph),
+            ManagerConfig(
+                warmup_intervals=0,
+                activation_intervals=1,
+                target_ratio=1.0,
+            ),
+        )
+
+    return CampaignRunner(
+        graph=graph,
+        runtime=FlinkRuntime(savepoint=SavepointModel.instant()),
+        initial_parallelism={"src": 1, "op": 2, "snk": 1},
+        controllers={"ds2": ds2},
+        policy_interval=30.0,
+        engine_config=EngineConfig(
+            tick=0.5, track_record_latency=False
+        ),
+    )
+
+
+class TestSimulatorConstruction:
+    def test_valid_plan_constructs(self):
+        _simulator(_graph())
+
+    def test_checker_sees_the_plan(self, monkeypatch):
+        calls = []
+        original = simulator_module.ensure_valid_graph
+
+        def spy(graph, **kwargs):
+            calls.append((graph, kwargs))
+            return original(graph, **kwargs)
+
+        monkeypatch.setattr(
+            simulator_module, "ensure_valid_graph", spy
+        )
+        graph = _graph()
+        _simulator(graph)
+        assert len(calls) == 1
+        checked_graph, kwargs = calls[0]
+        assert checked_graph is graph
+        assert kwargs["parallelism"] == {
+            "src": 1,
+            "op": 2,
+            "snk": 1,
+        }
+
+    def test_checker_error_aborts_construction(self, monkeypatch):
+        def reject(graph, **kwargs):
+            raise GraphError("injected: graph fails static checks")
+
+        monkeypatch.setattr(
+            simulator_module, "ensure_valid_graph", reject
+        )
+        with pytest.raises(GraphError, match="injected"):
+            _simulator(_graph())
+
+
+class TestCampaignRunnerConstruction:
+    def test_valid_campaign_constructs(self):
+        _campaign_runner(_graph())
+
+    def test_checker_error_aborts_construction(self, monkeypatch):
+        def reject(graph, **kwargs):
+            raise GraphError("injected: graph fails static checks")
+
+        monkeypatch.setattr(
+            graphcheck, "ensure_valid_graph", reject
+        )
+        with pytest.raises(GraphError, match="injected"):
+            _campaign_runner(_graph())

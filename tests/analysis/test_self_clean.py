@@ -1,0 +1,30 @@
+"""Tier-1 enforcement: the shipped tree lints clean.
+
+This is the teeth behind CONTRIBUTING.md's determinism contract — any
+new wall-clock read, unseeded RNG, OS-entropy draw, or unordered
+iteration in ``src/repro`` fails the test suite, not just the optional
+tier-2 gate.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths, render_text
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+
+
+def test_src_tree_lints_clean():
+    findings = lint_paths([PACKAGE_ROOT])
+    assert findings == [], (
+        "determinism linter found violations in src/repro "
+        "(fix them or add a justified '# repro: allow[RULE]'):\n"
+        + render_text(findings)
+    )
+
+
+def test_package_root_is_the_real_tree():
+    # Guard against the test silently passing because it linted an
+    # installed copy with no modules in it.
+    assert (PACKAGE_ROOT / "analysis" / "linter.py").is_file()
+    assert (PACKAGE_ROOT / "engine" / "simulator.py").is_file()
