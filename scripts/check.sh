@@ -11,7 +11,8 @@
 #   3. repro lint    - in-tree determinism linter (always runs)
 #   4. repro check-graph --all
 #                    - graph invariants for every built-in workload
-#   5. pytest        - tier-1 test suite
+#   5. trace schema  - golden-file JSONL trace schema check
+#   6. pytest        - tier-1 test suite
 #
 # ruff and mypy are optional dev dependencies (`pip install -e .[lint]`).
 # When they are missing the stage is skipped with a notice rather than
@@ -69,6 +70,11 @@ fi
 
 run_stage "repro lint" python -m repro lint src/repro
 run_stage "repro check-graph" python -m repro check-graph --all
+# Golden-file trace schema gate: a seeded controlled run must still
+# serialize byte-for-byte to tests/telemetry/golden_trace.jsonl.
+# Cheap (~2s), so it runs even with --fast.
+run_stage "trace schema (golden file)" \
+    python -m pytest -q tests/telemetry/test_trace_io.py
 
 if [ "$FAST" -eq 1 ]; then
     skip_stage "pytest" "--fast"

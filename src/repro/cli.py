@@ -5,9 +5,16 @@ Commands:
 * ``list-queries`` — the Nexmark workload registry (paper + extended).
 * ``list-experiments`` — the reproducible tables/figures.
 * ``run <experiment>`` — run one experiment (optionally scaled down)
-  and print the regenerated rows.
+  and print the regenerated rows. ``--trace FILE`` records a JSONL
+  trace of the run; ``--telemetry`` prints the runtime metrics
+  registry afterwards.
 * ``decide`` — one-shot DS2 sizing of the Heron wordcount (the §5.2
-  headline, in two seconds).
+  headline, in two seconds), with the per-operator Eq. 7/8 traversal.
+* ``explain`` — render a scaling-decision audit: the one-shot sizing
+  by default, or any decision recorded in a trace (``--trace FILE
+  --index N``).
+* ``trace summarize FILE`` — validate a JSONL trace and print its
+  headline numbers.
 * ``lint [paths]`` — the determinism linter over Python sources
   (defaults to the installed ``repro`` package); non-zero exit on
   violations, so CI can gate on it.
@@ -188,6 +195,12 @@ EXPERIMENT_DESCRIPTIONS = {
     "chaos": "seeded chaos campaigns with SASO scorecards (robustness)",
 }
 
+#: Accepted spellings of experiment ids (resolved before dispatch).
+EXPERIMENT_ALIASES = {
+    "fault_tolerance": "faults",
+    "fault-tolerance": "faults",
+}
+
 
 # ----------------------------------------------------------------------
 # Commands
@@ -225,33 +238,16 @@ def cmd_list_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    runner = EXPERIMENTS.get(args.experiment)
-    if runner is None:
-        print(
-            f"unknown experiment {args.experiment!r}; available: "
-            f"{', '.join(sorted(EXPERIMENTS))}",
-            file=sys.stderr,
-        )
-        return 2
-    faults = getattr(args, "faults", None)
-    if faults is not None and args.experiment != "faults":
-        print(
-            "--faults only applies to the 'faults' experiment",
-            file=sys.stderr,
-        )
-        return 2
-    profile = getattr(args, "profile", None)
-    seeds = getattr(args, "seeds", None)
-    if (
-        profile is not None or seeds is not None
-    ) and args.experiment != "chaos":
-        print(
-            "--profile/--seeds only apply to the 'chaos' experiment",
-            file=sys.stderr,
-        )
-        return 2
-    if args.experiment == "chaos":
+def _execute_run(
+    args: argparse.Namespace,
+    experiment: str,
+    runner: Callable[[float], str],
+    faults: Optional[str],
+    profile: Optional[str],
+    seeds: Optional[int],
+) -> int:
+    """Dispatch one (already validated) experiment and print its rows."""
+    if experiment == "chaos":
         from repro.errors import FaultInjectionError
 
         try:
@@ -267,7 +263,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"invalid chaos campaign: {error}", file=sys.stderr)
             return 2
         return 0
-    if args.experiment == "faults":
+    if experiment == "faults":
         from repro.errors import FaultInjectionError
 
         try:
@@ -283,6 +279,71 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
         return 0
     print(runner(args.scale))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    experiment = EXPERIMENT_ALIASES.get(
+        args.experiment, args.experiment
+    )
+    runner = EXPERIMENTS.get(experiment)
+    if runner is None:
+        print(
+            f"unknown experiment {args.experiment!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    faults = getattr(args, "faults", None)
+    if faults is not None and experiment != "faults":
+        print(
+            "--faults only applies to the 'faults' experiment",
+            file=sys.stderr,
+        )
+        return 2
+    profile = getattr(args, "profile", None)
+    seeds = getattr(args, "seeds", None)
+    if (
+        profile is not None or seeds is not None
+    ) and experiment != "chaos":
+        print(
+            "--profile/--seeds only apply to the 'chaos' experiment",
+            file=sys.stderr,
+        )
+        return 2
+    trace_path = getattr(args, "trace", None)
+    telemetry = bool(getattr(args, "telemetry", False))
+    if trace_path is None and not telemetry:
+        return _execute_run(
+            args, experiment, runner, faults, profile, seeds
+        )
+    # Activate an unbounded tracer (a CLI run is finite; nothing
+    # should be evicted from the flight recorder) and a fresh metrics
+    # registry for the duration of the run.
+    from repro.telemetry import (
+        MetricsRegistry,
+        Tracer,
+        metering,
+        tracing,
+    )
+
+    tracer = Tracer(capacity=None)
+    registry = MetricsRegistry()
+    with tracing(tracer), metering(registry):
+        code = _execute_run(
+            args, experiment, runner, faults, profile, seeds
+        )
+    if code != 0:
+        return code
+    if trace_path is not None:
+        try:
+            count = tracer.write_jsonl(trace_path)
+        except OSError as error:
+            print(f"cannot write trace: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {count} trace events to {trace_path}")
+    if telemetry:
+        print(registry.render_text())
     return 0
 
 
@@ -372,11 +433,15 @@ def cmd_check_graph(args: argparse.Namespace) -> int:
     return 1 if has_error else 0
 
 
-def cmd_decide(_args: argparse.Namespace) -> int:
+def _oneshot_wordcount_audit():
+    """One DS2 sizing of the under-provisioned Heron wordcount from a
+    single 60 s window, as a (evaluation, DecisionAudit) pair — the
+    shared substance of ``repro decide`` and bare ``repro explain``."""
     from repro.core import compute_optimal_parallelism
     from repro.dataflow.physical import PhysicalPlan
     from repro.engine.runtimes import HeronRuntime
     from repro.engine.simulator import EngineConfig, Simulator
+    from repro.telemetry import DecisionAudit, operator_audits
     from repro.workloads.wordcount import heron_wordcount_graph
 
     graph = heron_wordcount_graph()
@@ -387,9 +452,37 @@ def cmd_decide(_args: argparse.Namespace) -> int:
     )
     simulator.run_for(60.0)
     window = simulator.collect_metrics()
-    result = compute_optimal_parallelism(
-        graph, window, simulator.source_target_rates()
+    targets = simulator.source_target_rates()
+    result = compute_optimal_parallelism(graph, window, targets)
+    audit = DecisionAudit(
+        time=window.end,
+        controller="ds2",
+        window_start=window.start,
+        window_end=window.end,
+        window_age=0.0,
+        outage_fraction=window.outage_fraction,
+        truncated=window.truncated,
+        in_outage=False,
+        degraded=False,
+        rate_compensation=1.0,
+        completeness=dict(window.completeness),
+        source_target_rates=dict(targets),
+        source_observed_rates=dict(window.source_observed_rates),
+        current_parallelism={name: 1 for name in graph.names},
+        operators=operator_audits(result, window.completeness),
+        proposal={
+            name: estimate.optimal_parallelism
+            for name, estimate in result.estimates.items()
+        },
+        outcome="hold",
     )
+    return result, audit
+
+
+def cmd_decide(_args: argparse.Namespace) -> int:
+    from repro.telemetry import render_decision_audit
+
+    result, audit = _oneshot_wordcount_audit()
     print(format_table(
         ("operator", "current", "optimal"),
         [
@@ -401,7 +494,98 @@ def cmd_decide(_args: argparse.Namespace) -> int:
             "under-provisioned Heron wordcount"
         ),
     ))
+    print()
+    print("Eq. 7/8 traversal behind those numbers:")
+    print()
+    print(render_decision_audit(audit))
     return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.errors import TelemetryError
+    from repro.telemetry import (
+        audit_from_dict,
+        read_trace,
+        render_decision_audit,
+    )
+
+    if args.trace is None:
+        _, audit = _oneshot_wordcount_audit()
+        print(render_decision_audit(audit))
+        return 0
+    try:
+        records = read_trace(args.trace)
+    except TelemetryError as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return 2
+    payloads = [
+        record["data"]["audit"]
+        for record in records
+        if record["kind"] == "controller.audit"
+        and isinstance(record["data"], dict)
+        and "audit" in record["data"]
+    ]
+    if not payloads:
+        print(
+            f"no controller.audit events in {args.trace} (was the run "
+            "recorded with --trace and an auditing control loop?)",
+            file=sys.stderr,
+        )
+        return 2
+    index = args.index
+    if index < 0:
+        index += len(payloads)
+    if not 0 <= index < len(payloads):
+        print(
+            f"--index {args.index} out of range: trace holds "
+            f"{len(payloads)} decision(s)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        audit = audit_from_dict(payloads[index])
+    except TelemetryError as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return 2
+    print(f"decision {index + 1} of {len(payloads)} in {args.trace}")
+    print()
+    print(render_decision_audit(audit))
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.errors import TelemetryError
+    from repro.telemetry import (
+        read_trace,
+        render_trace_summary,
+        summarize_trace,
+    )
+
+    try:
+        records = read_trace(args.file)
+    except TelemetryError as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(records)
+    if args.format == "json":
+        import dataclasses
+        import json
+
+        payload = dataclasses.asdict(summary)
+        payload["kinds"] = dict(summary.kinds)
+        payload["span"] = summary.span
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_trace_summary(summary))
+    return 0
+
+
+def _trace_no_subcommand(_args: argparse.Namespace) -> int:
+    print(
+        "usage: repro trace summarize FILE [--format text|json]",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -452,7 +636,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "chaos campaign profile for the 'chaos' experiment "
-            "(mixed, crashes, telemetry, rescale-storm, smoke)"
+            "(mixed, crashes, telemetry, rescale-storm, "
+            "backpressure, smoke)"
         ),
     )
     run.add_argument(
@@ -464,10 +649,61 @@ def build_parser() -> argparse.ArgumentParser:
             "(default 20)"
         ),
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a JSONL trace of the run to FILE",
+    )
+    run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="print the runtime metrics registry after the run",
+    )
     run.set_defaults(func=cmd_run)
     sub.add_parser(
         "decide", help="one-shot DS2 sizing of the Heron wordcount"
     ).set_defaults(func=cmd_decide)
+    explain = sub.add_parser(
+        "explain",
+        help="explain a scaling decision (the Eq. 7/8 audit trail)",
+    )
+    explain.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSONL trace to read decisions from (default: run the "
+            "one-shot Heron wordcount sizing)"
+        ),
+    )
+    explain.add_argument(
+        "--index",
+        type=int,
+        default=-1,
+        help=(
+            "which decision in the trace to explain (0-based; "
+            "negative counts from the end; default: the last)"
+        ),
+    )
+    explain.set_defaults(func=cmd_explain)
+    trace = sub.add_parser(
+        "trace", help="inspect recorded JSONL traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    trace.set_defaults(func=_trace_no_subcommand)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="validate a trace and print its headline numbers",
+    )
+    summarize.add_argument("file", help="JSONL trace file")
+    summarize.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    summarize.set_defaults(func=cmd_trace_summarize)
     lint = sub.add_parser(
         "lint",
         help="determinism linter over Python sources",

@@ -18,7 +18,7 @@ activation), and the stream processor. Here:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -34,6 +34,14 @@ from repro.dataflow.physical import PhysicalPlan
 from repro.engine.simulator import Simulator, TickStats
 from repro.errors import PolicyError, ReconfigurationError
 from repro.metrics import MetricsWindow
+from repro.telemetry.audit import (
+    DecisionAudit,
+    audit_to_dict,
+    build_decision_audit,
+    finalize_audit,
+)
+from repro.telemetry.registry import active_registry
+from repro.telemetry.tracer import Tracer, active_tracer
 
 if TYPE_CHECKING:  # import-cycle guard: repository imports metrics only
     from repro.core.repository import MetricsRepository
@@ -150,6 +158,9 @@ class LoopResult:
         default_factory=list
     )
     failed_rescales: List[FailedRescale] = field(default_factory=list)
+    #: One decision audit per policy invocation (inputs, Eq. 7/8
+    #: traversal, and outcome) — what `repro explain` renders.
+    audits: List[DecisionAudit] = field(default_factory=list)
 
     @property
     def scaling_steps(self) -> int:
@@ -177,6 +188,8 @@ class ControlLoop:
         tick_observer: Optional[Callable[[TickStats], None]] = None,
         repository: Optional["MetricsRepository"] = None,
         retry: Optional[RetryConfig] = RetryConfig(),
+        tracer: Optional[Tracer] = None,
+        audit: bool = True,
     ) -> None:
         """Args:
             simulator: The job under control.
@@ -200,6 +213,11 @@ class ControlLoop:
                 retries. Either way a rejected rescale leaves the
                 running configuration untouched — the job is never left
                 partially reconfigured.
+            tracer: Trace sink for ``controller.invoke`` /
+                ``controller.audit`` events; defaults to the ambient
+                tracer (a no-op unless telemetry is active).
+            audit: Record a :class:`~repro.telemetry.DecisionAudit`
+                per policy invocation into ``result.audits``.
         """
         if policy_interval <= 0:
             raise PolicyError("policy_interval must be > 0")
@@ -217,6 +235,16 @@ class ControlLoop:
         self._tick_observer = tick_observer
         self._repository = repository
         self._retry = retry
+        self._tracer = tracer if tracer is not None else active_tracer()
+        self._audit_enabled = audit
+        self._m_decisions = active_registry().counter(
+            "repro_controller_decisions_total",
+            "Policy invocations by controller and outcome",
+        )
+        self._m_window_age = active_registry().gauge(
+            "repro_controller_window_age_seconds",
+            "Age of the observed window at invocation time (staleness)",
+        )
         # (requested, next attempt number, earliest retry time)
         self._pending_retry: Optional[
             Tuple[Dict[str, int], int, float]
@@ -269,12 +297,75 @@ class ControlLoop:
         )
         desired = self._controller.on_metrics(observation)
         self.result.decisions.append((self._sim.time, desired))
+        self._m_window_age.set(
+            max(0.0, self._sim.time - window.end),
+            controller=self._controller.name,
+        )
+        audit: Optional[DecisionAudit] = None
+        if self._audit_enabled:
+            audit = build_decision_audit(
+                observation, desired, self._controller
+            )
         if self._sim.in_outage:
+            self._finish_decision(audit, "skipped", reason="outage")
             return
         requested, attempt = self._select_request(desired)
         if requested is None:
+            if audit is not None and audit.skip_reason is not None:
+                self._finish_decision(audit, "skipped")
+            elif self._pending_retry is not None:
+                self._finish_decision(audit, "backoff-wait")
+            else:
+                self._finish_decision(audit, "hold")
             return
-        self._attempt_rescale(requested, attempt)
+        self._attempt_rescale(requested, attempt, audit)
+
+    def _finish_decision(
+        self,
+        audit: Optional[DecisionAudit],
+        outcome: str,
+        reason: Optional[str] = None,
+        applied: Optional[Dict[str, int]] = None,
+        outage_seconds: float = 0.0,
+        attempt: int = 0,
+        failure_reason: Optional[str] = None,
+    ) -> None:
+        """Close out one policy invocation: count it, finalize its
+        audit record, and emit the trace events."""
+        self._m_decisions.inc(
+            controller=self._controller.name, outcome=outcome
+        )
+        if audit is not None:
+            if reason is not None and audit.skip_reason is None:
+                audit = replace(audit, skip_reason=reason)
+            audit = finalize_audit(
+                audit,
+                outcome,
+                applied=applied,
+                outage_seconds=outage_seconds,
+                attempt=attempt,
+                failure_reason=failure_reason,
+            )
+            self.result.audits.append(audit)
+        tracer = self._tracer
+        if tracer.enabled:
+            data: Dict[str, object] = {
+                "controller": self._controller.name,
+                "outcome": outcome,
+            }
+            if audit is not None and audit.skip_reason is not None:
+                data["skip_reason"] = audit.skip_reason
+            if applied is not None:
+                data["applied"] = dict(applied)
+            if attempt:
+                data["attempt"] = attempt
+            tracer.emit("controller.invoke", self._sim.time, **data)
+            if audit is not None:
+                tracer.emit(
+                    "controller.audit",
+                    self._sim.time,
+                    audit=audit_to_dict(audit),
+                )
 
     def _select_request(
         self, desired: Optional[Dict[str, int]]
@@ -319,12 +410,21 @@ class ControlLoop:
         return pending_requested, attempt
 
     def _attempt_rescale(
-        self, requested: Dict[str, int], attempt: int
+        self,
+        requested: Dict[str, int],
+        attempt: int,
+        audit: Optional[DecisionAudit] = None,
     ) -> None:
         try:
             outage = self._sim.rescale(requested)
         except ReconfigurationError as exc:
             self._record_failed_rescale(requested, attempt, exc)
+            self._finish_decision(
+                audit,
+                "rescale-failed",
+                attempt=attempt,
+                failure_reason=str(exc),
+            )
             return
         self._pending_retry = None
         applied = self._sim.plan.parallelism if outage == 0 else (
@@ -341,6 +441,13 @@ class ControlLoop:
             time=self._sim.time,
             outage_seconds=outage,
             new_parallelism=applied,
+        )
+        self._finish_decision(
+            audit,
+            "rescaled",
+            applied=applied,
+            outage_seconds=outage,
+            attempt=attempt,
         )
 
     def _record_failed_rescale(

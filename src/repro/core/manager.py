@@ -162,6 +162,7 @@ class DS2Controller(Controller):
         self._degraded = False
         self._degraded_intervals = 0
         self._stale_windows_skipped = 0
+        self._last_skip_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Introspection (used by experiments and tests)
@@ -204,6 +205,15 @@ class DS2Controller(Controller):
         """Windows rejected by the stale-window guard so far."""
         return self._stale_windows_skipped
 
+    @property
+    def last_skip_reason(self) -> Optional[str]:
+        """Why the latest invocation declined to evaluate the model
+        (``frozen`` / ``outage`` / ``truncated-window`` /
+        ``stale-window`` / ``degraded`` / ``warmup``), or None when the
+        policy was evaluated. Decision audits attach this so "why did
+        DS2 do nothing here" is answerable without a debugger."""
+        return self._last_skip_reason
+
     def reset(self) -> None:
         self._pending.clear()
         self._warmup_remaining = self._config.warmup_intervals
@@ -216,6 +226,7 @@ class DS2Controller(Controller):
         self._degraded = False
         self._degraded_intervals = 0
         self._stale_windows_skipped = 0
+        self._last_skip_reason = None
 
     # ------------------------------------------------------------------
     # Controller interface
@@ -224,30 +235,37 @@ class DS2Controller(Controller):
     def on_metrics(
         self, observation: Observation
     ) -> Optional[Dict[str, int]]:
+        self._last_skip_reason = None
         if self._frozen:
+            self._last_skip_reason = "frozen"
             return None
         window = observation.window
         if observation.in_outage or window.outage_fraction > 0.0:
             # The job was (partly) down: rates are meaningless.
+            self._last_skip_reason = "outage"
             return None
         if window.truncated:
             # In-flight counters were discarded mid-window (crash
             # recovery, redeploy): the window under-counts activity.
+            self._last_skip_reason = "truncated-window"
             return None
         try:
             self._check_fresh(observation)
         except StaleMetricsError:
             self._stale_windows_skipped += 1
+            self._last_skip_reason = "stale-window"
             return None
         if self._below_completeness_floor(window):
             # Too much telemetry is missing to extrapolate: freeze and
             # hold the last good configuration until metrics recover.
             self._degraded = True
             self._degraded_intervals += 1
+            self._last_skip_reason = "degraded"
             return None
         self._degraded = False
         if self._warmup_remaining > 0:
             self._warmup_remaining -= 1
+            self._last_skip_reason = "warmup"
             return None
 
         source_rates = self._compensated_source_rates(observation)

@@ -30,12 +30,18 @@ from typing import Dict, Iterable, List, Mapping, Optional, Set
 from repro.dataflow.physical import InstanceId
 from repro.errors import MetricsError
 from repro.metrics import InstanceCounters, MetricsWindow, OperatorHealth
+from repro.telemetry.tracer import Tracer, active_tracer
 
 
 class MetricsManager:
     """Accumulates per-instance counters between collections."""
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self._tracer = tracer if tracer is not None else active_tracer()
         self._window_start = start_time
         self._now = start_time
         self._outage_time = 0.0
@@ -185,6 +191,20 @@ class MetricsManager:
             registered_parallelism=registered_parallelism,
             truncated=self._truncated,
         )
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "metrics.collect",
+                self._now,
+                start=self._window_start,
+                duration=duration,
+                instances=len(instances),
+                suppressed=len(self._suppressed),
+                truncated=self._truncated,
+                outage_fraction=window.outage_fraction,
+                min_completeness=(
+                    min(completeness.values()) if completeness else 1.0
+                ),
+            )
         self._window_start = self._now
         self._outage_time = 0.0
         self._truncated = False

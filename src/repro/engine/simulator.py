@@ -47,6 +47,12 @@ from repro.engine.metrics_manager import MetricsManager
 from repro.engine.runtimes import Runtime
 from repro.errors import EngineError, ReconfigurationError
 from repro.metrics import MetricsWindow, OperatorHealth
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    active_registry,
+    wall_clock,
+)
+from repro.telemetry.tracer import Tracer, active_tracer
 
 
 @dataclass(frozen=True)
@@ -76,6 +82,11 @@ class EngineConfig:
             multiplied by a fresh uniform factor in ``[1-j, 1+j]``
             every tick. Deterministic given ``seed``.
         seed: PRNG seed for the cost-noise stream.
+        trace_tick_every: When tracing is active, sample one
+            ``engine.tick`` trace event every N ticks (1 = every tick).
+            Sampling keeps the flight recorder's hot-path cost inside
+            the telemetry overhead budget; rescale/outage/recovery
+            events are never sampled away.
     """
 
     tick: float = 0.1
@@ -86,6 +97,7 @@ class EngineConfig:
     epoch_seconds: Optional[float] = None
     cost_jitter: float = 0.0
     seed: int = 1
+    trace_tick_every: int = 8
 
     def __post_init__(self) -> None:
         if self.tick <= 0:
@@ -96,6 +108,8 @@ class EngineConfig:
             raise EngineError("epoch_seconds must be > 0")
         if not 0.0 <= self.cost_jitter < 1.0:
             raise EngineError("cost_jitter must be in [0, 1)")
+        if self.trace_tick_every < 1:
+            raise EngineError("trace_tick_every must be >= 1")
 
 
 @dataclass
@@ -171,7 +185,13 @@ class Simulator:
         plan: PhysicalPlan,
         runtime: Runtime,
         config: Optional[EngineConfig] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        """``tracer``/``registry`` default to the ambient ones (see
+        :func:`repro.telemetry.tracing` /
+        :func:`repro.telemetry.metering`) — no-ops unless a caller
+        activated telemetry."""
         self._plan = plan
         self._graph: LogicalGraph = plan.graph
         # Fail before the first tick, with every problem reported at
@@ -192,7 +212,35 @@ class Simulator:
         # land exactly where the schedule says — accumulated floating
         # point drift would shift them by a tick over long runs.
         self._tick_count = 0
-        self._metrics = MetricsManager()
+        self._tracer = tracer if tracer is not None else active_tracer()
+        self._registry = (
+            registry if registry is not None else active_registry()
+        )
+        self._metrics = MetricsManager(tracer=self._tracer)
+        # Pre-bound instruments so per-tick accounting is a dict bump.
+        reg = self._registry
+        runtime_label = runtime.name
+        self._m_step_seconds = reg.histogram(
+            "repro_engine_step_seconds",
+            "Wall-clock seconds per simulation tick",
+        ).labels(runtime=runtime_label)
+        self._m_ticks = reg.counter(
+            "repro_engine_ticks_total", "Simulation ticks executed"
+        ).labels(runtime=runtime_label)
+        self._m_rescales = reg.counter(
+            "repro_engine_rescales_total", "Reconfigurations applied"
+        ).labels(runtime=runtime_label)
+        self._m_rescale_outage = reg.counter(
+            "repro_engine_rescale_outage_seconds_total",
+            "Virtual seconds spent down for reconfiguration",
+        ).labels(runtime=runtime_label)
+        self._m_crashes = reg.counter(
+            "repro_engine_crashes_total", "Instance crashes injected"
+        ).labels(runtime=runtime_label)
+        self._m_recovery = reg.counter(
+            "repro_engine_recovery_seconds_total",
+            "Virtual seconds spent in crash recovery",
+        ).labels(runtime=runtime_label)
         self._state = StateModel(graph=self._graph)
         self._instances: Dict[str, List[_Instance]] = {}
         self._source_backlog: Dict[str, float] = {
@@ -228,6 +276,16 @@ class Simulator:
                 self._graph, epoch_seconds=self._config.epoch_seconds
             )
         self._deploy(plan)
+        if self._tracer.enabled:
+            # Epoch marker: a new simulator starts a fresh virtual
+            # clock, and the trace validator only accepts a time
+            # regression at an engine.start record.
+            self._tracer.emit(
+                "engine.start",
+                self._time,
+                runtime=self._runtime.name,
+                parallelism=dict(sorted(plan.parallelism.items())),
+            )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -275,6 +333,16 @@ class Simulator:
         """The instrumentation aggregator (fault injectors hook it to
         model metric dropout)."""
         return self._metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer this simulator emits events into."""
+        return self._tracer
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this simulator reports into."""
+        return self._registry
 
     @property
     def last_stats(self) -> Optional[TickStats]:
@@ -368,6 +436,8 @@ class Simulator:
         window = self._metrics.collect(
             health=health, source_observed_rates=source_rates
         )
+        if self._registry.enabled:
+            self._report_window_metrics(window, health)
         self._window_source_emitted = {
             name: 0.0 for name in self._graph.sources()
         }
@@ -376,6 +446,43 @@ class Simulator:
         }
         self._window_started = self._time
         return window
+
+    def _report_window_metrics(
+        self,
+        window: MetricsWindow,
+        health: Mapping[str, OperatorHealth],
+    ) -> None:
+        """Cold-path gauge updates at window collection time."""
+        reg = self._registry
+        runtime_label = self._runtime.name
+        fill = reg.gauge(
+            "repro_engine_queue_fill",
+            "Worst input-buffer occupancy per operator",
+        )
+        pending = reg.gauge(
+            "repro_engine_pending_records",
+            "Records queued per operator",
+        )
+        completeness = reg.gauge(
+            "repro_metrics_window_completeness",
+            "Fraction of registered instances that reported",
+        )
+        for name in sorted(health):
+            entry = health[name]
+            fill.set(entry.queue_fill, operator=name)
+            pending.set(entry.pending_records, operator=name)
+        for name in sorted(window.completeness):
+            completeness.set(
+                window.completeness[name], operator=name
+            )
+        reg.counter(
+            "repro_metrics_windows_total", "Metrics windows collected"
+        ).inc(runtime=runtime_label)
+        if window.truncated:
+            reg.counter(
+                "repro_metrics_truncated_windows_total",
+                "Windows that lost in-flight counters to a redeploy",
+            ).inc(runtime=runtime_label)
 
     # ------------------------------------------------------------------
     # Reconfiguration
@@ -403,6 +510,16 @@ class Simulator:
         self._pending_plan = new_plan
         self._outage_until = self._time + outage
         self._rescale_count += 1
+        self._m_rescales.inc()
+        self._m_rescale_outage.inc(outage)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "engine.rescale",
+                self._time,
+                requested=dict(updates),
+                parallelism=dict(new_plan.parallelism),
+                outage=outage,
+            )
         if outage == 0.0:
             self._deploy(new_plan)
             self._pending_plan = None
@@ -429,6 +546,13 @@ class Simulator:
         self._outage_until = max(
             self._outage_until, self._time + seconds
         )
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "engine.outage",
+                self._time,
+                seconds=seconds,
+                until=self._outage_until,
+            )
 
     def fail_instance(self, operator: str, index: int = 0) -> float:
         """Crash one operator instance (a TaskManager/worker loss).
@@ -455,6 +579,16 @@ class Simulator:
             self._state.snapshot(), self._plan.parallelism, operator
         )
         self._crash_count += 1
+        self._m_crashes.inc()
+        self._m_recovery.inc(outage)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "engine.recovery",
+                self._time,
+                operator=operator,
+                index=index,
+                outage=outage,
+            )
         if outage > 0:
             self.force_outage(outage)
         else:
@@ -562,11 +696,28 @@ class Simulator:
     def step(self) -> TickStats:
         """Advance virtual time by one tick."""
         dt = self._config.tick
+        timed = self._registry.enabled
+        started = wall_clock() if timed else 0.0
         if self.in_outage:
             stats = self._outage_tick(dt)
         else:
             stats = self._active_tick(dt)
         self._last_stats = stats
+        if timed:
+            self._m_step_seconds.observe(wall_clock() - started)
+            self._m_ticks.inc()
+        tracer = self._tracer
+        if (
+            tracer.enabled
+            and self._tick_count % self._config.trace_tick_every == 0
+        ):
+            tracer.emit(
+                "engine.tick",
+                self._time,
+                queued=round(sum(stats.queue_lengths.values()), 6),
+                backpressured=len(stats.backpressured),
+                outage=stats.in_outage,
+            )
         return stats
 
     def run_for(self, seconds: float) -> None:

@@ -52,3 +52,9 @@ class StaleMetricsError(ReproError):
     """Raised when a controller is asked to act on a metrics window that
     is older than its configured freshness bound (e.g. the reporting
     pipeline lagged and re-delivered an already-seen window)."""
+
+
+class TelemetryError(ReproError):
+    """Raised for invalid telemetry requests (malformed metric names,
+    duplicate registrations with conflicting types, negative counter
+    increments, unparseable trace files)."""

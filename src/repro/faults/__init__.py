@@ -11,6 +11,7 @@ under them (:mod:`repro.faults.campaigns`).
 
 from repro.faults.events import (
     FaultEvent,
+    HealthCorruption,
     InstanceCrash,
     MetricCorruption,
     MetricDropout,
@@ -45,6 +46,7 @@ __all__ = [
     "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
+    "HealthCorruption",
     "FaultSchedule",
     "InstanceCrash",
     "MetricCorruption",

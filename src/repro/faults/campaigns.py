@@ -49,6 +49,7 @@ from typing import (
 from repro.errors import FaultInjectionError
 from repro.faults.events import (
     FaultEvent,
+    HealthCorruption,
     InstanceCrash,
     MetricCorruption,
     MetricDropout,
@@ -57,15 +58,21 @@ from repro.faults.events import (
 )
 from repro.faults.schedule import FaultSchedule
 from repro.metrics import downtime_seconds
+from repro.telemetry.audit import AuditSummary, summarize_audits
+from repro.telemetry.registry import active_registry
+from repro.telemetry.tracer import NULL_TRACER, active_tracer, tracing
 
 #: Fault kinds a profile's mix may weight (the ``--faults`` grammar's
-#: vocabulary).
+#: vocabulary). New kinds are appended, never inserted: the canonical
+#: order feeds ``rng.choices``, so reordering would silently change
+#: every existing profile's sampled fault stream.
 FAULT_KINDS: Tuple[str, ...] = (
     "crash",
     "dropout",
     "lag",
     "corrupt",
     "rescale-fail",
+    "corrupt-health",
 )
 
 
@@ -104,7 +111,10 @@ class CampaignProfile:
         lag_seconds: Duration range for
             :class:`~repro.faults.events.MetricLag`.
         corruption_amplitude / corruption_seconds: Ranges for
-            :class:`~repro.faults.events.MetricCorruption`.
+            :class:`~repro.faults.events.MetricCorruption` and
+            :class:`~repro.faults.events.HealthCorruption` (both
+            corrupt a signal by a relative amplitude over an
+            interval, so they share the parameter ranges).
         rescale_fail_modes: Modes sampled for
             :class:`~repro.faults.events.RescaleFailure`.
         max_rescale_failures: Upper bound on each failure event's
@@ -192,7 +202,9 @@ class CampaignProfile:
 #: ``crashes`` isolates the per-runtime recovery models; ``telemetry``
 #: stresses only the metrics pipeline (the hardened manager's home
 #: turf); ``rescale-storm`` batters the reconfiguration mechanism;
-#: ``smoke`` is a tiny fast profile for CI.
+#: ``backpressure`` corrupts the queue-fill/backpressure signals the
+#: Dhalion-style baselines steer by (DS2 reads record counters and is
+#: unaffected); ``smoke`` is a tiny fast profile for CI.
 PROFILES: Dict[str, CampaignProfile] = {
     profile.name: profile
     for profile in (
@@ -220,6 +232,10 @@ PROFILES: Dict[str, CampaignProfile] = {
             mix={"rescale-fail": 3.0, "crash": 1.0},
             burstiness=2.0,
             events_per_1000s=8.0,
+        ),
+        CampaignProfile(
+            name="backpressure",
+            mix={"corrupt-health": 2.0, "dropout": 1.0, "crash": 1.0},
         ),
         CampaignProfile(
             name="smoke",
@@ -281,7 +297,8 @@ class CampaignGenerator:
         self._targets = targets
         self._seed = int(seed)
         needed = set(profile.kinds)
-        if needed & {"crash", "corrupt"} and not targets.operators:
+        if (needed & {"crash", "corrupt", "corrupt-health"}
+                and not targets.operators):
             raise FaultInjectionError(
                 f"profile {profile.name!r} samples crashes/corruption "
                 "but targets has no operators"
@@ -374,6 +391,13 @@ class CampaignGenerator:
                 operator=rng.choice(targets.operators),
                 amplitude=rng.uniform(*profile.corruption_amplitude),
             )
+        if kind == "corrupt-health":
+            return HealthCorruption(
+                time=time,
+                duration=rng.uniform(*profile.corruption_seconds),
+                operator=rng.choice(targets.operators),
+                amplitude=rng.uniform(*profile.corruption_amplitude),
+            )
         assert kind == "rescale-fail", kind
         return RescaleFailure(
             time=time,
@@ -425,6 +449,10 @@ class SasoScorecard:
             runtime's recovery model (subset of downtime).
         scaling_actions: Applied reconfigurations.
         failed_rescales: Rejected/timed-out reconfiguration attempts.
+        audit: Summary of the run's per-decision audit records (how
+            many invocations proposed / rescaled / skipped, degraded
+            intervals, worst rate compensation), when the control loop
+            recorded them. ``None`` for runs scored without audits.
     """
 
     controller: str
@@ -438,6 +466,7 @@ class SasoScorecard:
     recovery_seconds: float
     scaling_actions: int
     failed_rescales: int
+    audit: Optional[AuditSummary] = None
 
     @property
     def score(self) -> float:
@@ -505,6 +534,8 @@ def score_campaign_run(
         recovery = sum(
             outage for _, outage in run.injector.crash_outages
         )
+    audits = getattr(run.loop_result, "audits", None)
+    audit = summarize_audits(audits) if audits else None
     return SasoScorecard(
         controller=controller,
         campaign=campaign,
@@ -517,6 +548,7 @@ def score_campaign_run(
         recovery_seconds=recovery,
         scaling_actions=run.loop_result.scaling_steps,
         failed_rescales=len(run.loop_result.failed_rescales),
+        audit=audit,
     )
 
 
@@ -658,33 +690,77 @@ class CampaignRunner:
             for name in self._graph.scalable_operators()
             if name in self._initial
         }
+        # Campaign-level observability: cells are traced at cell
+        # granularity with a cumulative virtual-time axis (cell i ends
+        # at (i+1) x duration), so a campaign trace stays monotone even
+        # though every cell's own simulator restarts at t = 0. The
+        # per-cell engine/controller events are suppressed for the same
+        # reason — use a traced single run (``repro run faults
+        # --trace``) for event-level detail.
+        tracer = active_tracer()
+        cells = active_registry().counter(
+            "repro_campaign_cells_total",
+            "Campaign cells (campaign x controller) completed.",
+        )
+        profile = generator.profile.name
+        total = len(indices) * len(self._controllers)
+        if tracer.enabled:
+            tracer.emit(
+                "campaign.start",
+                0.0,
+                profile=profile,
+                seed=generator.seed,
+                campaigns=len(indices),
+                controllers=sorted(self._controllers),
+                cells=total,
+            )
         scorecards: List[SasoScorecard] = []
         for campaign in indices:
             schedule = generator.schedule(campaign)
             for name, factory in self._controllers.items():
-                run = run_controlled(
-                    graph=self._graph,
-                    runtime=self._runtime,
-                    initial_parallelism=self._initial,
-                    controller=factory(),
-                    policy_interval=self._interval,
-                    duration=duration,
-                    engine_config=self._engine_config,
-                    fault_schedule=schedule,
-                )
-                scorecards.append(
-                    score_campaign_run(
-                        run,
-                        controller=name,
-                        campaign=campaign,
-                        schedule=schedule,
-                        initial_parallelism=scalable,
+                with tracing(NULL_TRACER):
+                    run = run_controlled(
+                        graph=self._graph,
+                        runtime=self._runtime,
+                        initial_parallelism=self._initial,
+                        controller=factory(),
                         policy_interval=self._interval,
-                        target_rates=targets,
                         duration=duration,
-                        tail_seconds=self._tail,
+                        engine_config=self._engine_config,
+                        fault_schedule=schedule,
                     )
+                card = score_campaign_run(
+                    run,
+                    controller=name,
+                    campaign=campaign,
+                    schedule=schedule,
+                    initial_parallelism=scalable,
+                    policy_interval=self._interval,
+                    target_rates=targets,
+                    duration=duration,
+                    tail_seconds=self._tail,
                 )
+                scorecards.append(card)
+                cells.inc(profile=profile, controller=name)
+                if tracer.enabled:
+                    tracer.emit(
+                        "campaign.cell",
+                        len(scorecards) * duration,
+                        profile=profile,
+                        campaign=campaign,
+                        controller=name,
+                        completed=len(scorecards),
+                        cells=total,
+                        score=round(card.score, 6),
+                        failed_rescales=card.failed_rescales,
+                    )
+        if tracer.enabled:
+            tracer.emit(
+                "campaign.end",
+                total * duration,
+                profile=profile,
+                cells=total,
+            )
         return scorecards
 
 

@@ -3,8 +3,9 @@
 Each event is an immutable record of *what* goes wrong and *when* (in
 virtual seconds from job start). One-shot events (:class:`InstanceCrash`,
 :class:`RescaleFailure`) fire once; interval events
-(:class:`MetricDropout`, :class:`MetricLag`, :class:`MetricCorruption`)
-are active for a ``duration`` starting at ``time``.
+(:class:`MetricDropout`, :class:`MetricLag`, :class:`MetricCorruption`,
+:class:`HealthCorruption`) are active for a ``duration`` starting at
+``time``.
 
 The events map to the failures a long-running streaming deployment
 actually sees — see DESIGN.md for the correspondence (TaskManager loss,
@@ -131,6 +132,34 @@ class MetricCorruption(_IntervalEvent):
 
 
 @dataclass(frozen=True)
+class HealthCorruption(_IntervalEvent):
+    """An operator's coarse health signals are corrupted.
+
+    While active, every collection scales the operator's queue fill and
+    pending records by independent factors drawn uniformly from
+    ``[1 - amplitude, 1 + amplitude]`` (deterministically from the
+    schedule seed) and recomputes the backpressure flag against the
+    runtime's high-water mark — so a healthy operator can show phantom
+    backpressure and a saturated one can look fine. This is the channel
+    that misleads the signal-driven baselines (Dhalion, queue-threshold
+    policies) the way :class:`MetricCorruption` misleads rate-based
+    ones; DS2 reads record counters, not health, and sails through.
+    """
+
+    operator: str = ""
+    amplitude: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.operator:
+            raise FaultInjectionError("HealthCorruption needs an operator")
+        if not 0.0 < self.amplitude < 1.0:
+            raise FaultInjectionError(
+                f"amplitude must be in (0, 1), got {self.amplitude!r}"
+            )
+
+
+@dataclass(frozen=True)
 class RescaleFailure(FaultEvent):
     """The next ``count`` reconfigurations after ``time`` fail.
 
@@ -155,6 +184,7 @@ class RescaleFailure(FaultEvent):
 
 __all__ = [
     "FaultEvent",
+    "HealthCorruption",
     "InstanceCrash",
     "MetricCorruption",
     "MetricDropout",

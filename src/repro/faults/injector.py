@@ -19,7 +19,8 @@ Injection points:
   restore on Flink, peer re-sync on Timely, container restart on
   Heron — never hardcoded here.
 * ``collect_metrics`` — depresses source telemetry under source
-  dropout, miscounts records under corruption, and re-delivers /
+  dropout, miscounts records under corruption, distorts queue-fill /
+  backpressure signals under health corruption, and re-delivers /
   merges windows under metrics lag.
 * ``source_target_rates`` — the externally monitored λ_src is sampled
   from the same reporters as the metrics pipeline, so it too drops
@@ -43,6 +44,7 @@ from repro.dataflow.physical import InstanceId
 from repro.engine.simulator import Simulator, TickStats
 from repro.errors import ReconfigurationError
 from repro.faults.events import (
+    HealthCorruption,
     InstanceCrash,
     MetricCorruption,
     MetricDropout,
@@ -51,16 +53,23 @@ from repro.faults.events import (
 )
 from repro.faults.schedule import FaultSchedule
 from repro.metrics import InstanceCounters, MetricsWindow, merge_windows
+from repro.telemetry.tracer import Tracer, active_tracer
 
 
 class FaultInjector:
     """Transparent fault-injecting proxy around a simulator."""
 
     def __init__(
-        self, simulator: Simulator, schedule: FaultSchedule
+        self,
+        simulator: Simulator,
+        schedule: FaultSchedule,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._sim = simulator
         self._schedule = schedule
+        # Injections are emitted as trace events whose kinds reuse the
+        # repro.faults.events vocabulary ("fault.<EventClassName>").
+        self._tracer = tracer if tracer is not None else active_tracer()
         self._fired: Set[int] = set()
         # Armed rescale failures: [event, remaining count].
         self._armed: List[List] = []
@@ -121,6 +130,7 @@ class FaultInjector:
         window = self._sim.collect_metrics()
         window = self._depress_source_telemetry(window)
         window = self._corrupt(window)
+        window = self._corrupt_health(window)
         return self._apply_lag(window)
 
     def source_target_rates(self) -> Dict[str, float]:
@@ -145,12 +155,25 @@ class FaultInjector:
                     f"rescale to {dict(updates)} timed out after "
                     f"{outage:.1f}s outage; old configuration restored"
                 )
+                self._trace(
+                    event,
+                    action="rejected",
+                    mode=event.mode,
+                    requested=dict(updates),
+                    outage=outage,
+                )
                 raise ReconfigurationError(
                     f"reconfiguration timed out after {outage:.1f}s; "
                     f"job restored to the previous configuration"
                 )
             self._note(
                 f"rescale to {dict(updates)} aborted (savepoint refused)"
+            )
+            self._trace(
+                event,
+                action="rejected",
+                mode=event.mode,
+                requested=dict(updates),
             )
             raise ReconfigurationError(
                 "reconfiguration aborted: savepoint refused"
@@ -185,12 +208,24 @@ class FaultInjector:
                     f"crashed {event.operator}[{idx}]; recovery "
                     f"outage {outage:.1f}s"
                 )
+                self._trace(
+                    event,
+                    operator=event.operator,
+                    index=idx,
+                    outage=outage,
+                )
             elif isinstance(event, RescaleFailure):
                 self._fired.add(index)
                 self._armed.append([event, event.count])
                 self._note(
                     f"armed {event.count} rescale failure(s) "
                     f"(mode={event.mode})"
+                )
+                self._trace(
+                    event,
+                    action="armed",
+                    mode=event.mode,
+                    count=event.count,
                 )
 
     # ------------------------------------------------------------------
@@ -217,6 +252,15 @@ class FaultInjector:
         dropped = self._dropped_instances(self._sim.time)
         if dropped != manager.suppressed:
             manager.set_suppressed(dropped)
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "fault.MetricDropout",
+                    self._sim.time,
+                    suppressed=sorted(
+                        f"{iid.operator}[{iid.index}]"
+                        for iid in dropped
+                    ),
+                )
 
     def _telemetry_completeness(self, operator: str) -> float:
         """Fraction of an operator's reporters still audible to the
@@ -289,6 +333,75 @@ class FaultInjector:
         return replace(window, instances=instances)
 
     # ------------------------------------------------------------------
+    # Health-signal corruption
+    # ------------------------------------------------------------------
+
+    def _corrupt_health(self, window: MetricsWindow) -> MetricsWindow:
+        """Corrupt the coarse health signals the baselines consume.
+
+        Queue fill and pending records are scaled by independent
+        factors from ``[1 - amplitude, 1 + amplitude]``; the
+        backpressure flag is then *recomputed* against the runtime's
+        high-water mark, so an inflated queue raises phantom
+        backpressure and a deflated one hides the real thing. The
+        record counters DS2 reads are untouched.
+        """
+        events = self._schedule.active(self._sim.time, HealthCorruption)
+        if not events:
+            return window
+        health = dict(window.health)
+        threshold = self._sim.runtime.backpressure_threshold
+        changed = False
+        for event in events:
+            entry = health.get(event.operator)
+            if entry is None:
+                continue
+            rng = self._schedule.rng_for(event, salt=window.start)
+            queue_factor = 1.0 + rng.uniform(
+                -event.amplitude, event.amplitude
+            )
+            pending_factor = 1.0 + rng.uniform(
+                -event.amplitude, event.amplitude
+            )
+            fraction_factor = 1.0 + rng.uniform(
+                -event.amplitude, event.amplitude
+            )
+            queue_fill = max(0.0, entry.queue_fill * queue_factor)
+            backpressure = queue_fill >= threshold
+            fraction = min(
+                1.0, entry.backpressure_fraction * fraction_factor
+            )
+            if backpressure and fraction <= 0.0:
+                # A raised flag with zero duration would be ignored by
+                # duration-based resolvers; a corrupted reporter that
+                # claims a hot queue claims it was hot for a while.
+                fraction = min(1.0, queue_fill)
+            health[event.operator] = replace(
+                entry,
+                queue_fill=queue_fill,
+                backpressure=backpressure,
+                backpressure_fraction=fraction,
+                pending_records=max(
+                    0.0, entry.pending_records * pending_factor
+                ),
+            )
+            changed = True
+            self._trace(
+                event,
+                operator=event.operator,
+                queue_fill=round(queue_fill, 6),
+                backpressure=backpressure,
+                was_backpressure=entry.backpressure,
+            )
+        if not changed:
+            return window
+        self._note(
+            f"corrupted health signals of "
+            f"{sorted({e.operator for e in events})}"
+        )
+        return replace(window, health=health)
+
+    # ------------------------------------------------------------------
     # Metrics lag
     # ------------------------------------------------------------------
 
@@ -324,6 +437,15 @@ class FaultInjector:
 
     def _note(self, message: str) -> None:
         self._log.append((self._sim.time, message))
+
+    def _trace(self, event: object, **data: object) -> None:
+        """Emit one injection as a trace event. The kind is derived
+        from the fault event's class (``fault.InstanceCrash``, ...)
+        so the trace vocabulary *is* the repro.faults.events one."""
+        if self._tracer.enabled:
+            self._tracer.emit(
+                f"fault.{type(event).__name__}", self._sim.time, **data
+            )
 
 
 __all__ = ["FaultInjector"]

@@ -12,6 +12,7 @@ The compact text grammar (used by ``repro run --faults``):
     dropout@T+D:op[*frac]     silence frac of op's reporters for D s
     lag@T+D                   metrics pipeline lags for D s
     corrupt@T+D:op[*amp]      miscount op's records (+-amp) for D s
+    corrupt-health@T+D:op[*amp]  corrupt op's queue/backpressure signals
     rescale-fail@T[:mode][*n] next n rescales after T fail (abort|timeout)
 
 Events are comma-separated: ``crash@600:flatmap,dropout@300+180:source*0.5``.
@@ -25,6 +26,7 @@ from typing import Iterable, List, Optional, Tuple, Type, TypeVar
 from repro.errors import FaultInjectionError
 from repro.faults.events import (
     FaultEvent,
+    HealthCorruption,
     InstanceCrash,
     MetricCorruption,
     MetricDropout,
@@ -191,6 +193,21 @@ def _parse_event(token: str) -> FaultEvent:
             operator=operator.strip(),
             amplitude=_number(token, amplitude) if amplitude else 0.5,
         )
+    if kind == "corrupt-health":
+        span, _, target = rest.partition(":")
+        time, duration = _span(token, span)
+        if not target:
+            raise FaultInjectionError(
+                f"malformed fault {token!r}: corrupt-health needs "
+                f"':operator'"
+            )
+        operator, _, amplitude = target.partition("*")
+        return HealthCorruption(
+            time=time,
+            duration=duration,
+            operator=operator.strip(),
+            amplitude=_number(token, amplitude) if amplitude else 0.5,
+        )
     if kind == "rescale-fail":
         head, _, count = rest.partition("*")
         when, _, mode = head.partition(":")
@@ -201,7 +218,7 @@ def _parse_event(token: str) -> FaultEvent:
         )
     raise FaultInjectionError(
         f"unknown fault kind {kind!r} in {token!r} (expected crash, "
-        f"dropout, lag, corrupt, or rescale-fail)"
+        f"dropout, lag, corrupt, corrupt-health, or rescale-fail)"
     )
 
 

@@ -1,0 +1,102 @@
+"""Observability for the DS2 reproduction (see docs/observability.md).
+
+Three cooperating layers, all zero-cost no-ops unless activated:
+
+* :mod:`repro.telemetry.tracer` — a ring-buffer flight recorder with a
+  deterministic JSONL export ("what happened, in order").
+* :mod:`repro.telemetry.registry` — process-local counters, gauges,
+  and histograms with text/JSON reporters ("how is it doing").
+* :mod:`repro.telemetry.audit` — per-decision audit records capturing
+  a controller invocation's inputs and the Eq. 7/8 traversal that
+  produced its output ("why did it decide that").
+
+Activate ambiently around any experiment::
+
+    from repro.telemetry import MetricsRegistry, Tracer, metering, tracing
+
+    with tracing(Tracer(capacity=None)) as tracer, \\
+            metering(MetricsRegistry()) as registry:
+        run_controlled(...)
+    tracer.write_jsonl("out.jsonl")
+    print(registry.render_text())
+"""
+
+from repro.telemetry.audit import (
+    AuditSummary,
+    DecisionAudit,
+    OperatorAudit,
+    audit_from_dict,
+    audit_to_dict,
+    build_decision_audit,
+    finalize_audit,
+    operator_audits,
+    render_audit_summary,
+    render_decision_audit,
+    summarize_audits,
+)
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    active_registry,
+    metering,
+    wall_clock,
+)
+from repro.telemetry.trace_io import (
+    EPOCH_KIND,
+    TraceSummary,
+    read_trace,
+    render_trace_summary,
+    summarize_trace,
+    validate_trace_record,
+)
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    tracing,
+)
+
+__all__ = [
+    "AuditSummary",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DecisionAudit",
+    "EPOCH_KIND",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "OperatorAudit",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "TraceSummary",
+    "Tracer",
+    "active_registry",
+    "active_tracer",
+    "audit_from_dict",
+    "audit_to_dict",
+    "build_decision_audit",
+    "finalize_audit",
+    "metering",
+    "operator_audits",
+    "read_trace",
+    "render_audit_summary",
+    "render_decision_audit",
+    "render_trace_summary",
+    "summarize_audits",
+    "summarize_trace",
+    "tracing",
+    "validate_trace_record",
+    "wall_clock",
+]

@@ -1,0 +1,497 @@
+"""A process-local metrics registry (counters, gauges, histograms).
+
+The registry is the "how is it doing right now" layer: engine, control
+loop, fault injector, and campaign runner register named metric
+families — optionally labeled by operator/runtime/controller — and
+update them as they run. A snapshot can be rendered as Prometheus-style
+text or as JSON at any point.
+
+Like the tracer, the registry is designed to vanish when unused: the
+module-level :data:`NULL_REGISTRY` has ``enabled = False``, hands out
+no-op instruments, and hot paths guard wall-clock timing on the flag.
+Instruments support label pre-binding (:meth:`Counter.labels` and
+friends) so per-tick updates are a dictionary bump, not a label-key
+sort.
+
+Metric values may derive from wall-clock time (step-duration
+histograms): that is deliberate and confined to the registry — traces
+and scorecards stay purely virtual-time and deterministic, while the
+registry answers performance questions about the host machine.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time as _time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import TelemetryError
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Default histogram buckets (seconds): tuned for per-tick step times
+#: (sub-millisecond) up to whole-run outage durations.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    5.0,
+    15.0,
+    60.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds, for overhead metrics only.
+
+    This is the single place telemetry reads the host clock; trace
+    events and audit records must never call it (they carry virtual
+    time so traces stay deterministic).
+    """
+    return _time.perf_counter()  # repro: allow[REPRO101]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(
+        sorted((name, str(value)) for name, value in labels.items())
+    )
+
+
+class _Metric:
+    """Base class for one named metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise TelemetryError(
+                f"invalid metric name {name!r} "
+                "(want [a-z][a-z0-9_]*)"
+            )
+        self.name = name
+        self.help = help
+
+    def _sample_keys(self) -> List[LabelKey]:
+        raise NotImplementedError
+
+    def _sample_dict(self, key: LabelKey) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, object]:
+        """This family as a JSON-ready dict (samples sorted by label)."""
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "samples": [
+                self._sample_dict(key)
+                for key in sorted(self._sample_keys())
+            ],
+        }
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class BoundCounter:
+    """A counter with its label key pre-resolved (hot-path handle)."""
+
+    def __init__(self, counter: "Counter", key: LabelKey) -> None:
+        self._counter = counter
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._counter._inc(self._key, amount)
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        self._inc(_label_key(labels), amount)
+
+    def labels(self, **labels: object) -> BoundCounter:
+        return BoundCounter(self, _label_key(labels))
+
+    def _inc(self, key: LabelKey, amount: float) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease "
+                f"(inc by {amount!r})"
+            )
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _sample_keys(self) -> List[LabelKey]:
+        return list(self._values)
+
+    def _sample_dict(self, key: LabelKey) -> Dict[str, object]:
+        return {"labels": dict(key), "value": self._values[key]}
+
+    def render_text(self) -> List[str]:
+        lines = [f"# TYPE {self.name} counter"]
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_format_labels(key)} "
+                f"{self._values[key]:g}"
+            )
+        return lines
+
+
+class BoundGauge:
+    """A gauge with its label key pre-resolved."""
+
+    def __init__(self, gauge: "Gauge", key: LabelKey) -> None:
+        self._gauge = gauge
+        self._key = key
+
+    def set(self, value: float) -> None:
+        self._gauge._set(self._key, value)
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._set(_label_key(labels), value)
+
+    def labels(self, **labels: object) -> BoundGauge:
+        return BoundGauge(self, _label_key(labels))
+
+    def _set(self, key: LabelKey, value: float) -> None:
+        self._values[key] = value
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _sample_keys(self) -> List[LabelKey]:
+        return list(self._values)
+
+    def _sample_dict(self, key: LabelKey) -> Dict[str, object]:
+        return {"labels": dict(key), "value": self._values[key]}
+
+    def render_text(self) -> List[str]:
+        lines = [f"# TYPE {self.name} gauge"]
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_format_labels(key)} "
+                f"{self._values[key]:g}"
+            )
+        return lines
+
+
+class BoundHistogram:
+    """A histogram with its label key pre-resolved."""
+
+    def __init__(self, histogram: "Histogram", key: LabelKey) -> None:
+        self._histogram = histogram
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        self._histogram._observe(self._key, value)
+
+
+class Histogram(_Metric):
+    """A distribution: cumulative bucket counts plus count and sum."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise TelemetryError(
+                f"histogram {name!r} needs at least one bucket"
+            )
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise TelemetryError(
+                f"histogram {name!r} buckets must strictly increase"
+            )
+        self.buckets = bounds
+        # Per label key: one count per finite bucket, plus +Inf.
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        self._observe(_label_key(labels), value)
+
+    def labels(self, **labels: object) -> BoundHistogram:
+        return BoundHistogram(self, _label_key(labels))
+
+    def _observe(self, key: LabelKey, value: float) -> None:
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = [0] * (len(self.buckets) + 1)
+            self._counts[key] = counts
+            self._sums[key] = 0.0
+        counts[bisect_left(self.buckets, value)] += 1
+        self._sums[key] += value
+
+    def count(self, **labels: object) -> int:
+        return sum(self._counts.get(_label_key(labels), []))
+
+    def sum(self, **labels: object) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def _sample_keys(self) -> List[LabelKey]:
+        return list(self._counts)
+
+    def _sample_dict(self, key: LabelKey) -> Dict[str, object]:
+        counts = self._counts[key]
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            cumulative[f"{bound:g}"] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return {
+            "labels": dict(key),
+            "count": sum(counts),
+            "sum": self._sums[key],
+            "buckets": cumulative,
+        }
+
+    def render_text(self) -> List[str]:
+        lines = [f"# TYPE {self.name} histogram"]
+        for key in sorted(self._counts):
+            sample = self._sample_dict(key)
+            buckets = sample["buckets"]
+            assert isinstance(buckets, dict)
+            for bound, running in buckets.items():
+                merged: LabelKey = key + (("le", bound),)
+                lines.append(
+                    f"{self.name}_bucket{_format_labels(merged)} "
+                    f"{running}"
+                )
+            lines.append(
+                f"{self.name}_count{_format_labels(key)} "
+                f"{sample['count']}"
+            )
+            lines.append(
+                f"{self.name}_sum{_format_labels(key)} "
+                f"{self._sums[key]:g}"
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """Named metric families for one process (or one experiment run)."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise TelemetryError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{existing.kind}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter (idempotent per name)."""
+        metric = self._register(Counter(name, help))
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge (idempotent per name)."""
+        metric = self._register(Gauge(name, help))
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram (idempotent per name)."""
+        metric = self._register(Histogram(name, help, buckets))
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """All families as a JSON-ready dict, sorted by name."""
+        return {
+            "metrics": [
+                self._metrics[name].snapshot()
+                for name in sorted(self._metrics)
+            ]
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2)
+
+    def render_text(self) -> str:
+        """Prometheus-style exposition text (families sorted by name)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            render = getattr(metric, "render_text", None)
+            if render is not None:
+                lines.extend(render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullBound:
+    """No-op bound instrument handed out by the null registry."""
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_BOUND = _NullBound()
+
+
+class NullCounter(Counter):
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        return None
+
+    def labels(self, **labels: object) -> BoundCounter:
+        return _NULL_BOUND  # type: ignore[return-value]
+
+
+class NullGauge(Gauge):
+    def set(self, value: float, **labels: object) -> None:
+        return None
+
+    def labels(self, **labels: object) -> BoundGauge:
+        return _NULL_BOUND  # type: ignore[return-value]
+
+
+class NullHistogram(Histogram):
+    def observe(self, value: float, **labels: object) -> None:
+        return None
+
+    def labels(self, **labels: object) -> BoundHistogram:
+        return _NULL_BOUND  # type: ignore[return-value]
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: hands out no-op instruments."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = NullCounter("null_counter")
+        self._null_gauge = NullGauge("null_gauge")
+        self._null_histogram = NullHistogram("null_histogram")
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._null_gauge
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._null_histogram
+
+
+#: Shared disabled registry; the default everywhere.
+NULL_REGISTRY = NullRegistry()
+
+# Ambient registry stack (mirrors repro.telemetry.tracer).
+_ACTIVE: List[MetricsRegistry] = [NULL_REGISTRY]
+
+
+def active_registry() -> MetricsRegistry:
+    """The innermost registry activated via :func:`metering`."""
+    return _ACTIVE[-1]
+
+
+@contextmanager
+def metering(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Make ``registry`` ambient for the duration of the block."""
+    _ACTIVE.append(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.pop()
+
+
+__all__ = [
+    "BoundCounter",
+    "BoundGauge",
+    "BoundHistogram",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "active_registry",
+    "metering",
+    "wall_clock",
+]

@@ -158,3 +158,67 @@ class TestTruncation:
         manager.register_instances([InstanceId("op", 0)])
         manager.advance(1.0)
         assert not manager.collect().truncated
+
+
+class TestRedeployEdgeCases:
+    """Redeploys racing suppression and recovery (ISSUE 4 satellites)."""
+
+    def test_midwindow_redeploy_with_suppressed_reporters(self, manager):
+        dark = InstanceId("op", 0)
+        manager.set_suppressed([dark])
+        manager.record(dark, pulled=10, pushed=10, useful=0.5,
+                       waiting=0.5)
+        manager.advance(1.0)
+        # Redeploy mid-window while one reporter is dark: the window
+        # must come back truncated, and the dark instance's held
+        # counters must not leak into the new deployment.
+        replacement = [
+            InstanceId("op", 0),
+            InstanceId("op", 1),
+            InstanceId("op", 2),
+        ]
+        manager.register_instances(replacement)
+        assert manager.suppressed == set()
+        assert manager.completeness() == {"op": 1.0}
+        manager.advance(1.0)
+        window = manager.collect()
+        assert window.truncated
+        assert set(window.instances) == set(replacement)
+        assert window.instances[dark].records_pulled == 0.0
+        # Re-applied suppression against the new set makes the next
+        # (clean) window incomplete instead.
+        manager.set_suppressed([InstanceId("op", 2)])
+        manager.advance(1.0)
+        window = manager.collect()
+        assert not window.truncated
+        assert window.completeness_of("op") == pytest.approx(2 / 3)
+
+    def test_recovered_reporter_restores_completeness(self, manager):
+        dark = InstanceId("op", 0)
+        live = InstanceId("op", 1)
+        manager.set_suppressed([dark])
+        for _ in range(2):
+            manager.record(dark, pulled=5, pushed=5, useful=0.2,
+                           waiting=0.3)
+            manager.record(live, pulled=8, pushed=8, useful=0.4,
+                           waiting=0.1)
+            manager.advance(1.0)
+            window = manager.collect()
+            assert window.completeness_of("op") == 0.5
+            assert dark not in window.instances
+        # Recovery: suppression lifts, the held counters flush into
+        # the next window, and completeness returns to 1.0.
+        manager.set_suppressed([])
+        assert manager.completeness() == {"op": 1.0}
+        manager.record(dark, pulled=5, pushed=5, useful=0.2,
+                       waiting=0.3)
+        manager.advance(1.0)
+        window = manager.collect()
+        assert window.completeness_of("op") == 1.0
+        catchup = window.instances[dark]
+        assert catchup.records_pulled == 15.0
+        assert catchup.useful_time == pytest.approx(0.6)
+        assert catchup.observed_time == pytest.approx(3.0)
+        # The flush is one-shot: the following window is ordinary.
+        manager.advance(1.0)
+        assert manager.collect().instances[dark].records_pulled == 0.0

@@ -11,6 +11,7 @@ from repro.faults import (
     CampaignGenerator,
     CampaignProfile,
     CampaignTargets,
+    HealthCorruption,
     InstanceCrash,
     MetricCorruption,
     MetricDropout,
@@ -27,6 +28,7 @@ EVENT_KINDS = {
     MetricDropout: "dropout",
     MetricLag: "lag",
     MetricCorruption: "corrupt",
+    HealthCorruption: "corrupt-health",
     RescaleFailure: "rescale-fail",
 }
 
@@ -127,7 +129,10 @@ class TestCampaignGenerator:
                     <= profile.duration
                 )
                 assert EVENT_KINDS[type(event)] in profile.kinds
-                if isinstance(event, (InstanceCrash, MetricCorruption)):
+                if isinstance(
+                    event,
+                    (InstanceCrash, MetricCorruption, HealthCorruption),
+                ):
                     assert event.operator in TARGETS.operators
                 elif isinstance(event, MetricDropout):
                     assert event.operator in (

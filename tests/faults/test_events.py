@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import FaultInjectionError, ReproError
 from repro.faults import (
+    HealthCorruption,
     InstanceCrash,
     MetricCorruption,
     MetricDropout,
@@ -114,3 +115,29 @@ class TestRescaleFailure:
     def test_bad_count_rejected(self):
         with pytest.raises(FaultInjectionError):
             RescaleFailure(time=0.0, count=0)
+
+
+class TestHealthCorruption:
+    def test_valid(self):
+        event = HealthCorruption(
+            time=0.0, duration=5.0, operator="count", amplitude=0.4
+        )
+        assert event.amplitude == 0.4
+
+    def test_default_amplitude(self):
+        event = HealthCorruption(
+            time=0.0, duration=5.0, operator="count"
+        )
+        assert event.amplitude == 0.5
+
+    @pytest.mark.parametrize("amplitude", [0.0, 1.0, -0.1, 2.0])
+    def test_bad_amplitude_rejected(self, amplitude):
+        with pytest.raises(FaultInjectionError):
+            HealthCorruption(
+                time=0.0, duration=5.0, operator="count",
+                amplitude=amplitude,
+            )
+
+    def test_needs_operator(self):
+        with pytest.raises(FaultInjectionError):
+            HealthCorruption(time=0.0, duration=5.0)

@@ -24,6 +24,7 @@ from repro.errors import ReconfigurationError
 from repro.faults import (
     FaultInjector,
     FaultSchedule,
+    HealthCorruption,
     InstanceCrash,
     MetricCorruption,
     MetricDropout,
@@ -295,3 +296,90 @@ class TestRescaleFailure:
                 injector.rescale({"op": 4})
         assert injector.armed_rescale_failures == 0
         assert injector.rescale({"op": 4}) == 0.0
+
+
+class TestHealthCorruption:
+    """Corrupts the coarse health channel baselines consume, not the
+    record counters DS2 reads."""
+
+    def _injector(self, schedule, rate=9000.0):
+        graph = small_graph(rate)
+        plan = PhysicalPlan(graph, {"src": 2, "op": 1})
+        simulator = Simulator(
+            plan,
+            FlinkRuntime(savepoint=SavepointModel.instant()),
+            EngineConfig(tick=0.5, track_record_latency=False),
+        )
+        return FaultInjector(simulator, schedule)
+
+    def _window(self, seed, rate=9000.0):
+        schedule = FaultSchedule([
+            HealthCorruption(
+                time=0.0, duration=100.0, operator="op", amplitude=0.9
+            ),
+        ], seed=seed)
+        injector = self._injector(schedule, rate)
+        run_for(injector, 10.0)
+        return injector.collect_metrics()
+
+    def test_perturbs_health_not_counters(self):
+        clean_injector = self._injector(FaultSchedule([]))
+        run_for(clean_injector, 10.0)
+        clean = clean_injector.collect_metrics()
+        corrupted = self._window(seed=1)
+        assert (
+            corrupted.health["op"].queue_fill
+            != clean.health["op"].queue_fill
+        )
+        assert (
+            corrupted.health["op"].pending_records
+            != clean.health["op"].pending_records
+        )
+        # DS2's channel is untouched: record counters and timings of
+        # every instance are byte-identical.
+        assert corrupted.instances == clean.instances
+        # Other operators' health is untouched too.
+        assert corrupted.health["src"] == clean.health["src"]
+        assert corrupted.health["snk"] == clean.health["snk"]
+
+    def test_backpressure_flag_recomputed(self):
+        # Overload the operator so its queue is genuinely full; the
+        # corruption (seed 2 draws a strong downward factor) pulls the
+        # reported fill below the Flink threshold, masking the real
+        # backpressure — the flag follows the corrupted fill.
+        clean_injector = self._injector(FaultSchedule([]), rate=12000.0)
+        run_for(clean_injector, 10.0)
+        clean = clean_injector.collect_metrics()
+        assert clean.health["op"].backpressure is True
+        corrupted = self._window(seed=2, rate=12000.0)
+        entry = corrupted.health["op"]
+        assert entry.queue_fill < 0.8
+        assert entry.backpressure is False
+
+    def test_deterministic_per_seed(self):
+        assert self._window(seed=3) == self._window(seed=3)
+        assert self._window(seed=3) != self._window(seed=4)
+
+    def test_trace_events_and_log_note(self):
+        from repro.telemetry import Tracer, tracing
+
+        schedule = FaultSchedule([
+            HealthCorruption(
+                time=0.0, duration=100.0, operator="op", amplitude=0.9
+            ),
+        ], seed=1)
+        tracer = Tracer(capacity=None)
+        with tracing(tracer):
+            injector = self._injector(schedule)
+            run_for(injector, 10.0)
+            injector.collect_metrics()
+        events = tracer.events("fault.HealthCorruption")
+        assert events
+        data = events[0].data
+        assert data["operator"] == "op"
+        assert {"queue_fill", "backpressure", "was_backpressure"} \
+            <= set(data)
+        assert any(
+            "corrupted health signals" in note
+            for _, note in injector.injection_log
+        )

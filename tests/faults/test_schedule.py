@@ -5,6 +5,7 @@ import pytest
 from repro.errors import FaultInjectionError
 from repro.faults import (
     FaultSchedule,
+    HealthCorruption,
     InstanceCrash,
     MetricCorruption,
     MetricDropout,
@@ -125,6 +126,37 @@ class TestParseFaults:
         "rescale-fail@0:explode",  # unknown mode
         "meteor@0",                # unknown kind
         "crash@-5:op",             # negative time
+    ])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(FaultInjectionError):
+            parse_faults(spec)
+
+
+class TestParseCorruptHealth:
+    def test_parse_with_amplitude(self):
+        schedule = parse_faults("corrupt-health@10+60:worker*0.4")
+        [event] = schedule.events
+        assert isinstance(event, HealthCorruption)
+        assert (event.time, event.duration) == (10.0, 60.0)
+        assert event.operator == "worker"
+        assert event.amplitude == 0.4
+
+    def test_default_amplitude(self):
+        [event] = parse_faults("corrupt-health@0+5:worker").events
+        assert event.amplitude == 0.5
+
+    def test_composes_with_other_kinds(self):
+        schedule = parse_faults(
+            "crash@600:flatmap,corrupt-health@50+25:count*0.3"
+        )
+        kinds = {type(e).__name__ for e in schedule.events}
+        assert kinds == {"InstanceCrash", "HealthCorruption"}
+
+    @pytest.mark.parametrize("spec", [
+        "corrupt-health@5",           # missing duration
+        "corrupt-health@5+5",         # missing operator
+        "corrupt-health@5+5:op*1.5",  # amplitude out of range
+        "corrupt-health@5+5:op*abc",  # amplitude not a number
     ])
     def test_malformed_specs_rejected(self, spec):
         with pytest.raises(FaultInjectionError):

@@ -1,0 +1,187 @@
+"""Unit tests for the process-local metrics registry."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    active_registry,
+    metering,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labels_keep_series_separate(self):
+        counter = Counter("ticks_total")
+        counter.inc(runtime="flink")
+        counter.inc(3, runtime="heron")
+        assert counter.value(runtime="flink") == 1.0
+        assert counter.value(runtime="heron") == 3.0
+        assert counter.value(runtime="missing") == 0.0
+
+    def test_bound_handle_updates_parent(self):
+        counter = Counter("ticks_total")
+        bound = counter.labels(runtime="flink")
+        bound.inc()
+        bound.inc(4)
+        assert counter.value(runtime="flink") == 5.0
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("ticks_total")
+        with pytest.raises(TelemetryError):
+            counter.inc(-1.0)
+
+    def test_invalid_name_rejected(self):
+        for name in ("Bad", "9lives", "has-dash", ""):
+            with pytest.raises(TelemetryError):
+                Counter(name)
+
+    def test_render_text(self):
+        counter = Counter("ticks_total")
+        counter.inc(2, runtime="flink")
+        assert counter.render_text() == [
+            "# TYPE ticks_total counter",
+            'ticks_total{runtime="flink"} 2',
+        ]
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("parallelism")
+        gauge.set(4.0, operator="worker")
+        gauge.set(2.0, operator="worker")
+        assert gauge.value(operator="worker") == 2.0
+
+    def test_bound_handle(self):
+        gauge = Gauge("parallelism")
+        gauge.labels(operator="worker").set(8.0)
+        assert gauge.value(operator="worker") == 8.0
+
+
+class TestHistogram:
+    def test_count_sum_and_cumulative_buckets(self):
+        hist = Histogram("step_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count() == 4
+        assert hist.sum() == pytest.approx(6.05)
+        sample = hist.snapshot()["samples"][0]
+        assert sample["buckets"] == {"0.1": 1, "1": 3, "+Inf": 4}
+
+    def test_boundary_value_falls_in_its_bucket(self):
+        # bisect_left: an observation equal to a bound lands in that
+        # bound's bucket (le semantics).
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        sample = hist.snapshot()["samples"][0]
+        assert sample["buckets"]["1"] == 1
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(TelemetryError):
+            Histogram("h", buckets=())
+        with pytest.raises(TelemetryError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(TelemetryError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_render_text_has_bucket_count_sum(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(0.5, op="a")
+        lines = hist.render_text()
+        assert lines[0] == "# TYPE h histogram"
+        assert 'h_bucket{op="a",le="1"} 1' in lines
+        assert 'h_bucket{op="a",le="+Inf"} 1' in lines
+        assert 'h_count{op="a"} 1' in lines
+        assert 'h_sum{op="a"} 0.5' in lines
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total")
+        second = registry.counter("a_total")
+        assert first is second
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.gauge("a_total")
+
+    def test_names_and_get(self):
+        registry = MetricsRegistry()
+        registry.gauge("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+        assert registry.get("a") is not None
+        assert registry.get("missing") is None
+
+    def test_render_text_sorted_by_family(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total").inc()
+        registry.gauge("a_value").set(1.0)
+        text = registry.render_text()
+        assert text.index("a_value") < text.index("z_total")
+        assert text.endswith("\n")
+
+    def test_render_json_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2, runtime="flink")
+        payload = json.loads(registry.render_json())
+        [family] = payload["metrics"]
+        assert family["name"] == "a_total"
+        assert family["type"] == "counter"
+        assert family["samples"] == [
+            {"labels": {"runtime": "flink"}, "value": 2.0}
+        ]
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_text() == ""
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        registry = NullRegistry()
+        assert registry.enabled is False
+        counter = registry.counter("a_total")
+        counter.inc(5)
+        counter.labels(runtime="flink").inc()
+        assert counter.value() == 0.0
+        gauge = registry.gauge("g")
+        gauge.set(3.0)
+        gauge.labels(op="a").set(3.0)
+        assert gauge.value() == 0.0
+        hist = registry.histogram("h")
+        hist.observe(1.0)
+        hist.labels(op="a").observe(1.0)
+        assert hist.count() == 0
+
+    def test_shared_instance_is_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+
+
+class TestAmbient:
+    def test_default_is_null(self):
+        assert active_registry() is NULL_REGISTRY
+
+    def test_metering_nests_and_restores(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with metering(outer):
+            assert active_registry() is outer
+            with metering(inner):
+                assert active_registry() is inner
+            assert active_registry() is outer
+        assert active_registry() is NULL_REGISTRY

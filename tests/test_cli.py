@@ -234,3 +234,106 @@ class TestCommands:
         assert "Crash-recovery outage per runtime" in out
         for runtime in ("flink", "timely", "heron"):
             assert runtime in out
+
+
+@pytest.fixture(scope="module")
+def faults_trace(tmp_path_factory):
+    """One traced scaled-down faults run shared by the trace tests."""
+    path = tmp_path_factory.mktemp("trace") / "faults.jsonl"
+    assert main([
+        "run", "fault_tolerance", "--scale", "0.3",
+        "--trace", str(path),
+    ]) == 0
+    return path
+
+
+class TestTelemetryCommands:
+    def test_trace_flags_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "run", "faults", "--trace", "out.jsonl", "--telemetry",
+        ])
+        assert args.trace == "out.jsonl"
+        assert args.telemetry is True
+
+    @pytest.mark.slow
+    def test_traced_run_writes_valid_jsonl(self, faults_trace, capsys):
+        from repro.telemetry import read_trace
+
+        records = read_trace(faults_trace)
+        assert records
+        # three controllers run back to back: three epochs
+        epochs = [r for r in records if r["kind"] == "engine.start"]
+        assert len(epochs) == 3
+
+    @pytest.mark.slow
+    def test_telemetry_flag_prints_metrics(self, capsys, tmp_path):
+        assert main([
+            "run", "faults", "--scale", "0.3", "--telemetry",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_ticks_total counter" in out
+        assert "# TYPE repro_engine_step_seconds histogram" in out
+
+    @pytest.mark.slow
+    def test_trace_summarize_text(self, faults_trace, capsys):
+        assert main(["trace", "summarize", str(faults_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "decisions:" in out
+        assert "engine.start" in out
+
+    @pytest.mark.slow
+    def test_trace_summarize_json(self, faults_trace, capsys):
+        assert main([
+            "trace", "summarize", str(faults_trace),
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] > 0
+        assert payload["kinds"]["engine.start"] == 3
+        assert payload["span"] >= 0
+
+    @pytest.mark.slow
+    def test_explain_from_trace(self, faults_trace, capsys):
+        assert main(["explain", "--trace", str(faults_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "decision at t=" in out
+        assert "controller=" in out
+
+    @pytest.mark.slow
+    def test_explain_index_out_of_range(self, faults_trace, capsys):
+        assert main([
+            "explain", "--trace", str(faults_trace),
+            "--index", "9999",
+        ]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_explain_without_trace_renders_oneshot(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "decision at t=" in out
+        assert "operator" in out
+        assert "optimal" in out
+
+    def test_explain_trace_without_audits(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text(
+            '{"data":{},"kind":"engine.start","seq":0,"t":0.0}\n'
+        )
+        assert main(["explain", "--trace", str(path)]) == 2
+        assert "no controller.audit" in capsys.readouterr().err
+
+    def test_explain_invalid_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["explain", "--trace", str(path)]) == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_trace_without_subcommand(self, capsys):
+        assert main(["trace"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_summarize_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["trace", "summarize", str(missing)]) == 2
+        assert "invalid trace" in capsys.readouterr().err
