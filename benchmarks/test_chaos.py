@@ -14,6 +14,11 @@ comparison across the three runtimes. Headline results:
 * the three runtimes show distinct crash-recovery distributions
   (Flink savepoint restore > Heron container restart > Timely peer
   re-sync).
+
+Campaign cells honour the ``REPRO_JOBS`` environment variable: set
+``REPRO_JOBS=4`` to run this batch on a process pool. The scorecards
+and the emitted artifact are byte-identical either way (see
+``test_chaos_parallel.py``).
 """
 
 from benchmarks._util import emit, run_once

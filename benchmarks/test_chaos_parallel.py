@@ -1,0 +1,71 @@
+"""Parallel chaos executor: equivalence and wall-clock speedup.
+
+Runs the 20-campaign ``mixed`` acceptance batch twice — serially
+(``jobs=1``) and on a 4-worker process pool (``jobs=4``) — and checks
+the executor contract from both sides:
+
+* **equivalence**: scorecards and the rendered report are byte-identical
+  between backends (the committed ``chaos_scorecards.txt`` artifact does
+  not depend on ``--jobs``);
+* **speedup**: on a ≥ 4-core runner the pool finishes the batch at
+  least 2.5× faster than the serial baseline. On smaller runners the
+  wall-clock numbers are still measured and emitted, but the threshold
+  is not asserted — a 1-core box cannot demonstrate parallelism.
+
+Recovery sweeps are excluded (``include_recovery=False``) so the timing
+isolates exactly the campaign cells the executor parallelises.
+"""
+
+import os
+import time
+
+from benchmarks._util import emit, run_once
+from repro.experiments.chaos import chaos_report, run_chaos
+
+CAMPAIGNS = 20
+SPEEDUP_FLOOR = 2.5
+SPEEDUP_CORES = 4
+
+
+def _timed(jobs):
+    start = time.perf_counter()
+    result = run_chaos(
+        profile="mixed",
+        campaigns=CAMPAIGNS,
+        seed=1,
+        include_recovery=False,
+        jobs=jobs,
+    )
+    return result, time.perf_counter() - start
+
+
+def test_chaos_parallel_speedup(benchmark):
+    serial, serial_seconds = run_once(benchmark, lambda: _timed(1))
+    parallel, parallel_seconds = _timed(SPEEDUP_CORES)
+
+    cores = os.cpu_count() or 1
+    speedup = serial_seconds / parallel_seconds
+    emit(
+        "chaos_parallel_speedup",
+        "\n".join([
+            f"Parallel chaos executor: {CAMPAIGNS}-campaign 'mixed' "
+            "batch, 3 controllers, Heron wordcount",
+            f"  cores available   {cores}",
+            f"  serial  (jobs=1)  {serial_seconds:8.2f} s",
+            f"  pooled  (jobs={SPEEDUP_CORES})  {parallel_seconds:8.2f} s",
+            f"  speedup           {speedup:8.2f}x"
+            + ("" if cores >= SPEEDUP_CORES else
+               f"  (not asserted: < {SPEEDUP_CORES} cores)"),
+        ]),
+    )
+
+    # The executor is an implementation detail: same cells, same bytes.
+    assert parallel.scorecards == serial.scorecards
+    assert parallel.aggregates == serial.aggregates
+    assert chaos_report(parallel) == chaos_report(serial)
+
+    if cores >= SPEEDUP_CORES:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"jobs={SPEEDUP_CORES} on {cores} cores only reached "
+            f"{speedup:.2f}x over serial (< {SPEEDUP_FLOOR}x)"
+        )

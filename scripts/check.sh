@@ -12,7 +12,9 @@
 #   4. repro check-graph --all
 #                    - graph invariants for every built-in workload
 #   5. trace schema  - golden-file JSONL trace schema check
-#   6. pytest        - tier-1 test suite
+#   6. parallel chaos equivalence
+#                    - smoke-profile serial vs process-pool scorecards
+#   7. pytest        - tier-1 test suite
 #
 # ruff and mypy are optional dev dependencies (`pip install -e .[lint]`).
 # When they are missing the stage is skipped with a notice rather than
@@ -75,6 +77,10 @@ run_stage "repro check-graph" python -m repro check-graph --all
 # Cheap (~2s), so it runs even with --fast.
 run_stage "trace schema (golden file)" \
     python -m pytest -q tests/telemetry/test_trace_io.py
+# Executor equivalence gate: the process-pool backend must produce
+# byte-identical scorecards to the serial one on the smoke profile.
+run_stage "parallel chaos equivalence (smoke)" \
+    python -m pytest -q tests/faults/test_parallel_runner.py -k smoke
 
 if [ "$FAST" -eq 1 ]; then
     skip_stage "pytest" "--fast"

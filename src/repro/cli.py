@@ -163,6 +163,8 @@ def _run_chaos(
     profile: str = "mixed",
     seeds: int = 20,
     seed: int = 1,
+    workload: str = "wordcount",
+    jobs: Optional[int] = None,
 ) -> str:
     from repro.experiments.chaos import chaos_report, run_chaos
 
@@ -170,7 +172,12 @@ def _run_chaos(
     # coarsens the tick instead (as with 'faults').
     tick = 1.0 if scale >= 1.0 else 2.0
     result = run_chaos(
-        profile=profile, campaigns=seeds, seed=seed, tick=tick
+        profile=profile,
+        campaigns=seeds,
+        seed=seed,
+        tick=tick,
+        workload=workload,
+        jobs=jobs,
     )
     return chaos_report(result)
 
@@ -245,6 +252,8 @@ def _execute_run(
     faults: Optional[str],
     profile: Optional[str],
     seeds: Optional[int],
+    workload: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> int:
     """Dispatch one (already validated) experiment and print its rows."""
     if experiment == "chaos":
@@ -257,6 +266,10 @@ def _execute_run(
                     profile=profile if profile is not None else "mixed",
                     seeds=seeds if seeds is not None else 20,
                     seed=getattr(args, "fault_seed", 1),
+                    workload=(
+                        workload if workload is not None else "wordcount"
+                    ),
+                    jobs=jobs,
                 )
             )
         except FaultInjectionError as error:
@@ -303,11 +316,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     profile = getattr(args, "profile", None)
     seeds = getattr(args, "seeds", None)
+    workload = getattr(args, "workload", None)
+    jobs = getattr(args, "jobs", None)
     if (
-        profile is not None or seeds is not None
+        profile is not None
+        or seeds is not None
+        or workload is not None
+        or jobs is not None
     ) and experiment != "chaos":
         print(
-            "--profile/--seeds only apply to the 'chaos' experiment",
+            "--profile/--seeds/--workload/--jobs only apply to the "
+            "'chaos' experiment",
+            file=sys.stderr,
+        )
+        return 2
+    if jobs is not None and jobs < 1:
+        print(
+            f"--jobs must be a positive worker count, got {jobs}",
             file=sys.stderr,
         )
         return 2
@@ -315,7 +340,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     telemetry = bool(getattr(args, "telemetry", False))
     if trace_path is None and not telemetry:
         return _execute_run(
-            args, experiment, runner, faults, profile, seeds
+            args, experiment, runner, faults, profile, seeds,
+            workload, jobs,
         )
     # Activate an unbounded tracer (a CLI run is finite; nothing
     # should be evicted from the flight recorder) and a fresh metrics
@@ -331,7 +357,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     with tracing(tracer), metering(registry):
         code = _execute_run(
-            args, experiment, runner, faults, profile, seeds
+            args, experiment, runner, faults, profile, seeds,
+            workload, jobs,
         )
     if code != 0:
         return code
@@ -647,6 +674,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "number of sampled campaigns for the 'chaos' experiment "
             "(default 20)"
+        ),
+    )
+    run.add_argument(
+        "--workload",
+        default=None,
+        help=(
+            "workload for the 'chaos' experiment: wordcount "
+            "(default), nexmark-q1/q2/q3/q5/q8/q11, or "
+            "nexmark-q5-timely (global scaling)"
+        ),
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the 'chaos' experiment's campaign "
+            "cells (default: $REPRO_JOBS, else 1 = serial; results "
+            "are byte-identical either way)"
         ),
     )
     run.add_argument(

@@ -9,31 +9,43 @@ claims rest on a distribution instead of an anecdote:
 * **ds2** — the hardened scaling manager (completeness compensation,
   degraded-mode floor, stale/truncated-window guards, retry+backoff);
 * **ds2-legacy** — the same policy with every hardening flag off;
-* **dhalion** — the backpressure-driven baseline.
+* **dhalion** — the backpressure-driven baseline (per-operator
+  workloads only; it has no notion of Timely's global scaling).
 
-All campaigns run the Heron wordcount benchmark (section 5.2 of the
-paper). A second pass replays a crash-only profile on all three
-runtimes to expose their distinct recovery models (savepoint restore
-vs. peer re-sync vs. container restart; see
+Campaigns run over a pluggable *workload* (:data:`WORKLOADS`): the
+Heron wordcount benchmark (section 5.2 of the paper) by default, or any
+of the Nexmark queries — windowed state on the Flink-style runtime
+(``nexmark-q1`` … ``nexmark-q11``) plus a Timely-style global-scaling
+variant (``nexmark-q5-timely``). A second pass replays a crash-only
+profile on all three runtimes to expose their distinct recovery models
+(savepoint restore vs. peer re-sync vs. container restart; see
 :mod:`repro.engine.recovery`).
 
-Everything is deterministic: same profile, seed, and campaign count ⇒
-byte-identical scorecards and report.
+Everything is deterministic: same profile, seed, workload, and campaign
+count ⇒ byte-identical scorecards and report, whether the cells run
+serially or on a process pool (``jobs``; see
+:class:`repro.faults.campaigns.ParallelExecutor`). All controller
+factories here are module-level functions or partials, so every cell
+spec pickles cleanly across worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.baselines import DhalionConfig, DhalionController
 from repro.core.controller import Controller
+from repro.core.manager import DS2Controller, ManagerConfig
+from repro.core.policy import DS2Policy, ExecutionModel
 from repro.engine.runtimes import (
     FlinkRuntime,
     HeronRuntime,
     Runtime,
     TimelyRuntime,
 )
+from repro.dataflow.graph import LogicalGraph
 from repro.dataflow.physical import PhysicalPlan
 from repro.engine.simulator import EngineConfig, Simulator
 from repro.errors import FaultInjectionError
@@ -47,13 +59,16 @@ from repro.experiments.report import format_table
 from repro.faults.campaigns import (
     PROFILES,
     AggregateScore,
+    CampaignExecutor,
     CampaignGenerator,
     CampaignProfile,
     CampaignRunner,
     CampaignTargets,
     SasoScorecard,
     aggregate_scorecards,
+    make_executor,
 )
+from repro.workloads.nexmark import ALL_QUERIES, get_query
 from repro.workloads.wordcount import (
     COUNT,
     FLATMAP,
@@ -65,17 +80,39 @@ from repro.workloads.wordcount import (
 #: Default campaign batch (the ISSUE's acceptance run).
 DEFAULT_PROFILE = "mixed"
 DEFAULT_CAMPAIGNS = 20
+DEFAULT_WORKLOAD = "wordcount"
 
 #: Campaigns replayed per runtime for the recovery-model comparison.
 RECOVERY_CAMPAIGNS = 5
 
+#: Nexmark chaos settings: the convergence experiment's policy cadence
+#: and the Table 4 sweep's "start everything at 8" configuration.
+NEXMARK_POLICY_INTERVAL = 30.0
+NEXMARK_INITIAL_PARALLELISM = 8
+#: Timely workers per operator at the start of a global-scaling cell
+#: (under the paper's 4-worker optimum, so the controller must act).
+TIMELY_INITIAL_WORKERS = 2
+
+
+def _make_hardened_ds2() -> Controller:
+    return _ds2_controller(True)
+
+
+def _make_legacy_ds2() -> Controller:
+    return _ds2_controller(False)
+
+
+def _make_dhalion() -> Controller:
+    return DhalionController(DhalionConfig())
+
 
 def chaos_controllers() -> Dict[str, Callable[[], Controller]]:
-    """Fresh-instance factories for the three contenders."""
+    """Fresh-instance factories for the three contenders (module-level
+    functions, so cell specs stay picklable for the process pool)."""
     return {
-        "ds2": lambda: _ds2_controller(True),
-        "ds2-legacy": lambda: _ds2_controller(False),
-        "dhalion": lambda: DhalionController(DhalionConfig()),
+        "ds2": _make_hardened_ds2,
+        "ds2-legacy": _make_legacy_ds2,
+        "dhalion": _make_dhalion,
     }
 
 
@@ -90,28 +127,204 @@ def resolve_profile(name: str) -> CampaignProfile:
         ) from None
 
 
-def _wordcount_runner(
-    runtime: Runtime,
-    tick: float,
-    controllers: Mapping[str, Callable[[], Controller]],
-) -> CampaignRunner:
-    return CampaignRunner(
-        graph=heron_wordcount_graph(),
-        runtime=runtime,
-        initial_parallelism={
-            SOURCE: SOURCE_PARALLELISM,
-            FLATMAP: 1,
-            COUNT: 1,
-            SINK: 1,
-        },
-        controllers=controllers,
-        policy_interval=HERON_POLICY_INTERVAL,
-        engine_config=EngineConfig(
-            tick=tick,
-            track_record_latency=False,
-            source_catchup_factor=1.3,
-        ),
+def _wordcount_graph() -> LogicalGraph:
+    return heron_wordcount_graph()
+
+
+def _wordcount_parallelism(graph: LogicalGraph) -> Dict[str, int]:
+    return {
+        SOURCE: SOURCE_PARALLELISM,
+        FLATMAP: 1,
+        COUNT: 1,
+        SINK: 1,
+    }
+
+
+def _nexmark_graph(query_name: str, flavor: str) -> LogicalGraph:
+    query = get_query(query_name)
+    if flavor == "timely":
+        return query.timely_graph()
+    return query.flink_graph()
+
+
+def _nexmark_parallelism(
+    query_name: str, graph: LogicalGraph
+) -> Dict[str, int]:
+    return get_query(query_name).initial_parallelism(
+        graph, NEXMARK_INITIAL_PARALLELISM
     )
+
+
+def _uniform_parallelism(
+    workers: int, graph: LogicalGraph
+) -> Dict[str, int]:
+    return {name: workers for name in graph.names}
+
+
+def _nexmark_ds2(
+    query_name: str, flavor: str, hardened: bool
+) -> Controller:
+    """A DS2 controller sized for one Nexmark query's graph.
+
+    Module-level (hence picklable via :func:`functools.partial`): the
+    policy needs the query's own graph, so the generic wordcount
+    factories cannot be reused.
+    """
+    graph = _nexmark_graph(query_name, flavor)
+    model = (
+        ExecutionModel.GLOBAL
+        if flavor == "timely"
+        else ExecutionModel.PER_OPERATOR
+    )
+    config = ManagerConfig(
+        warmup_intervals=0, activation_intervals=1, target_ratio=1.0
+    )
+    if hardened:
+        return DS2Controller(
+            DS2Policy(graph, execution_model=model), config
+        )
+    legacy = ManagerConfig(
+        warmup_intervals=0,
+        activation_intervals=1,
+        target_ratio=1.0,
+        completeness_compensation=False,
+        min_completeness=0.0,
+        max_window_age_intervals=None,
+    )
+    return DS2Controller(
+        DS2Policy(
+            graph, execution_model=model, completeness_scaling=False
+        ),
+        legacy,
+    )
+
+
+def _nexmark_controllers(
+    query_name: str, flavor: str
+) -> Dict[str, Callable[[], Controller]]:
+    controllers: Dict[str, Callable[[], Controller]] = {
+        "ds2": partial(_nexmark_ds2, query_name, flavor, True),
+        "ds2-legacy": partial(_nexmark_ds2, query_name, flavor, False),
+    }
+    if flavor == "flink":
+        # Dhalion's backpressure heuristic assumes per-operator worker
+        # assignment; it has no global-scaling analogue on Timely.
+        controllers["dhalion"] = _make_dhalion
+    return controllers
+
+
+@dataclass(frozen=True)
+class ChaosWorkload:
+    """One workload chaos campaigns can batter.
+
+    Bundles the graph/runtime factories, the starting configuration,
+    the policy cadence, and the controller contenders. ``global_scaling``
+    marks Timely-style workloads where every operator (sources and sinks
+    included) scales in lockstep.
+    """
+
+    name: str
+    description: str
+    policy_interval: float
+    graph_factory: Callable[[], LogicalGraph]
+    runtime_factory: Callable[[], Runtime]
+    parallelism_factory: Callable[[LogicalGraph], Dict[str, int]]
+    controllers_factory: Callable[
+        [], Dict[str, Callable[[], Controller]]
+    ]
+    global_scaling: bool = False
+
+    def runner(
+        self,
+        tick: float,
+        executor: Optional[CampaignExecutor] = None,
+    ) -> CampaignRunner:
+        """A campaign runner over this workload."""
+        graph = self.graph_factory()
+        return CampaignRunner(
+            graph=graph,
+            runtime=self.runtime_factory(),
+            initial_parallelism=self.parallelism_factory(graph),
+            controllers=self.controllers_factory(),
+            policy_interval=self.policy_interval,
+            engine_config=EngineConfig(
+                tick=tick,
+                track_record_latency=False,
+                source_catchup_factor=1.3,
+            ),
+            executor=executor,
+            scalable_operators=(
+                graph.names if self.global_scaling else None
+            ),
+        )
+
+
+def _builtin_workloads() -> Dict[str, ChaosWorkload]:
+    workloads: Dict[str, ChaosWorkload] = {
+        "wordcount": ChaosWorkload(
+            name="wordcount",
+            description=(
+                "Heron wordcount, the paper's §5.2 benchmark "
+                "(default)"
+            ),
+            policy_interval=HERON_POLICY_INTERVAL,
+            graph_factory=_wordcount_graph,
+            runtime_factory=HeronRuntime,
+            parallelism_factory=_wordcount_parallelism,
+            controllers_factory=chaos_controllers,
+        )
+    }
+    for query in ALL_QUERIES:
+        key = f"nexmark-{query.name.lower()}"
+        workloads[key] = ChaosWorkload(
+            name=key,
+            description=(
+                f"Nexmark {query.name} on the Flink-style runtime: "
+                f"{query.description}"
+            ),
+            policy_interval=NEXMARK_POLICY_INTERVAL,
+            graph_factory=partial(_nexmark_graph, query.name, "flink"),
+            runtime_factory=FlinkRuntime,
+            parallelism_factory=partial(
+                _nexmark_parallelism, query.name
+            ),
+            controllers_factory=partial(
+                _nexmark_controllers, query.name, "flink"
+            ),
+        )
+    workloads["nexmark-q5-timely"] = ChaosWorkload(
+        name="nexmark-q5-timely",
+        description=(
+            "Nexmark Q5 on the Timely-style runtime (global scaling: "
+            "all operators move in lockstep)"
+        ),
+        policy_interval=NEXMARK_POLICY_INTERVAL,
+        graph_factory=partial(_nexmark_graph, "Q5", "timely"),
+        runtime_factory=TimelyRuntime,
+        parallelism_factory=partial(
+            _uniform_parallelism, TIMELY_INITIAL_WORKERS
+        ),
+        controllers_factory=partial(
+            _nexmark_controllers, "Q5", "timely"
+        ),
+        global_scaling=True,
+    )
+    return workloads
+
+
+#: Workloads ``repro run chaos --workload`` accepts.
+WORKLOADS: Dict[str, ChaosWorkload] = _builtin_workloads()
+
+
+def resolve_workload(name: str) -> ChaosWorkload:
+    """Look up a built-in chaos workload, with a helpful error."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise FaultInjectionError(
+            f"unknown chaos workload {name!r} "
+            f"(expected one of {', '.join(sorted(WORKLOADS))})"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -125,6 +338,7 @@ class ChaosResult:
     scorecards: List[SasoScorecard]
     aggregates: Dict[str, AggregateScore]
     recovery: Dict[str, List[float]]
+    workload: str = DEFAULT_WORKLOAD
 
     def ranking(self) -> List[str]:
         """Controllers from best (lowest mean score) to worst."""
@@ -140,8 +354,11 @@ def run_chaos(
     seed: int = 1,
     tick: float = 1.0,
     include_recovery: bool = True,
+    workload: str = DEFAULT_WORKLOAD,
+    jobs: Optional[int] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> ChaosResult:
-    """Run ``campaigns`` sampled campaigns × three controllers.
+    """Run ``campaigns`` sampled campaigns × the workload's controllers.
 
     Args:
         profile: Built-in profile name (see
@@ -152,13 +369,22 @@ def run_chaos(
             minute of wall clock.
         include_recovery: Also replay the crash-only profile on all
             three runtimes (skipped by fast smoke paths).
+        workload: Built-in workload name (see :data:`WORKLOADS`).
+        jobs: Campaign-cell worker processes; ``None`` consults
+            ``$REPRO_JOBS``, 1 (the default) runs serially in-process.
+            Results are byte-identical either way.
+        executor: Explicit cell executor; overrides ``jobs``.
     """
     spec = resolve_profile(profile)
-    graph = heron_wordcount_graph()
+    load = resolve_workload(workload)
+    if executor is None:
+        executor = make_executor(jobs)
+    runner = load.runner(tick, executor=executor)
     generator = CampaignGenerator(
-        spec, CampaignTargets.from_graph(graph), seed=seed
+        spec,
+        CampaignTargets.from_graph(load.graph_factory()),
+        seed=seed,
     )
-    runner = _wordcount_runner(HeronRuntime(), tick, chaos_controllers())
     scorecards = runner.run(generator, campaigns)
     recovery: Dict[str, List[float]] = {}
     if include_recovery:
@@ -170,6 +396,7 @@ def run_chaos(
         scorecards=scorecards,
         aggregates=aggregate_scorecards(scorecards),
         recovery=recovery,
+        workload=load.name,
     )
 
 
@@ -256,9 +483,16 @@ def chaos_report(result: ChaosResult) -> str:
             "failed",
         ),
         rows,
+        # The default-workload title is frozen: the committed
+        # chaos_scorecards.txt artifact must stay byte-identical.
         title=(
             f"Chaos campaign '{result.profile}' "
-            f"({result.campaigns} campaigns, seed {result.seed}; "
+            + (
+                f"on '{result.workload}' "
+                if result.workload != DEFAULT_WORKLOAD
+                else ""
+            )
+            + f"({result.campaigns} campaigns, seed {result.seed}; "
             f"lower score is better)"
         ),
     )
@@ -293,12 +527,19 @@ def chaos_report(result: ChaosResult) -> str:
 
 __all__ = [
     "ChaosResult",
+    "ChaosWorkload",
     "DEFAULT_CAMPAIGNS",
     "DEFAULT_PROFILE",
+    "DEFAULT_WORKLOAD",
+    "NEXMARK_INITIAL_PARALLELISM",
+    "NEXMARK_POLICY_INTERVAL",
     "RECOVERY_CAMPAIGNS",
+    "TIMELY_INITIAL_WORKERS",
+    "WORKLOADS",
     "chaos_controllers",
     "chaos_report",
     "recovery_distributions",
     "resolve_profile",
+    "resolve_workload",
     "run_chaos",
 ]

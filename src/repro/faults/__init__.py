@@ -25,38 +25,56 @@ from repro.faults.schedule import FaultSchedule, parse_faults
 # itself imports the names above.
 from repro.faults.campaigns import (
     FAULT_KINDS,
+    JOBS_ENV_VAR,
     PROFILES,
     SCORE_WEIGHTS,
     AggregateScore,
+    CampaignCellSpec,
+    CampaignExecutor,
     CampaignGenerator,
     CampaignProfile,
     CampaignRunner,
     CampaignTargets,
+    CellKey,
+    ParallelExecutor,
     SasoScorecard,
+    SerialExecutor,
     aggregate_scorecards,
+    make_executor,
+    resolve_jobs,
+    run_campaign_cell,
     score_campaign_run,
 )
 
 __all__ = [
     "AggregateScore",
+    "CampaignCellSpec",
+    "CampaignExecutor",
     "CampaignGenerator",
     "CampaignProfile",
     "CampaignRunner",
     "CampaignTargets",
+    "CellKey",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
     "HealthCorruption",
     "FaultSchedule",
     "InstanceCrash",
+    "JOBS_ENV_VAR",
     "MetricCorruption",
     "MetricDropout",
     "MetricLag",
     "PROFILES",
+    "ParallelExecutor",
     "RescaleFailure",
     "SCORE_WEIGHTS",
     "SasoScorecard",
+    "SerialExecutor",
     "aggregate_scorecards",
+    "make_executor",
     "parse_faults",
+    "resolve_jobs",
+    "run_campaign_cell",
     "score_campaign_run",
 ]

@@ -27,14 +27,23 @@ The pieces:
   (lower is better) so controllers can be ranked across campaigns.
 * :class:`CampaignRunner` — *execution*: seeds × campaigns × controllers
   through the standard experiment harness, returning scorecards.
+* :class:`CampaignExecutor` — *where the cells run*: the serial
+  in-process default (:class:`SerialExecutor`) or a process pool
+  (:class:`ParallelExecutor`). Cells are keyed ``(seed, campaign,
+  controller)`` and merged in canonical order regardless of completion
+  order, so any executor produces byte-identical scorecards.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import math
+import os
 import random
+import traceback
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -59,8 +68,18 @@ from repro.faults.events import (
 from repro.faults.schedule import FaultSchedule
 from repro.metrics import downtime_seconds
 from repro.telemetry.audit import AuditSummary, summarize_audits
-from repro.telemetry.registry import active_registry
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    active_registry,
+    metering,
+)
 from repro.telemetry.tracer import NULL_TRACER, active_tracer, tracing
+
+if TYPE_CHECKING:
+    from repro.dataflow.graph import LogicalGraph
+    from repro.engine.runtimes import Runtime
+    from repro.engine.simulator import EngineConfig
+    from repro.experiments.harness import ExperimentRun
 
 #: Fault kinds a profile's mix may weight (the ``--faults`` grammar's
 #: vocabulary). New kinds are appended, never inserted: the canonical
@@ -267,7 +286,7 @@ class CampaignTargets:
             raise FaultInjectionError("targets need at least one pool")
 
     @classmethod
-    def from_graph(cls, graph) -> "CampaignTargets":
+    def from_graph(cls, graph: LogicalGraph) -> "CampaignTargets":
         """Sources plus the scalable (data-parallel, non-source,
         non-sink) operators of a logical graph."""
         return cls(
@@ -483,7 +502,7 @@ class SasoScorecard:
 
 
 def score_campaign_run(
-    run,
+    run: ExperimentRun,
     *,
     controller: str,
     campaign: int,
@@ -609,6 +628,285 @@ def aggregate_scorecards(
 # Execution
 # ----------------------------------------------------------------------
 
+#: Canonical identity of one campaign cell: ``(generator seed, campaign
+#: index, controller name)``. Executors return results merged by this
+#: submission order, never completion order, so the scorecard list is
+#: identical whichever backend ran it.
+CellKey = Tuple[int, int, str]
+
+#: Environment variable consulted when no explicit worker count is
+#: given (``repro run chaos --jobs N`` wins over the environment).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def _cell_label(key: CellKey) -> str:
+    seed, campaign, controller = key
+    return f"(seed={seed}, campaign={campaign}, controller={controller!r})"
+
+
+@dataclass(frozen=True)
+class CampaignCellSpec:
+    """Everything one (seed × campaign × controller) cell needs to run.
+
+    Specs are self-contained and must stay picklable — they cross
+    process boundaries under :class:`ParallelExecutor`. In particular
+    ``controller_factory`` must be a module-level callable or a
+    :func:`functools.partial` of one; lambdas and closures do not
+    pickle and fail at submission time with the cell named.
+
+    ``initial_parallelism`` seeds the simulator; ``scored_parallelism``
+    is the (usually scalable-only) subset the SASO scorer tracks.
+    """
+
+    seed: int
+    campaign: int
+    controller: str
+    profile: str
+    graph: LogicalGraph
+    runtime: Runtime
+    initial_parallelism: Mapping[str, int]
+    controller_factory: Callable[[], object]
+    policy_interval: float
+    duration: float
+    schedule: FaultSchedule
+    scored_parallelism: Mapping[str, int]
+    target_rates: Mapping[str, float]
+    tail_seconds: float
+    engine_config: Optional[EngineConfig] = None
+    scalable_operators: Optional[Tuple[str, ...]] = None
+
+    @property
+    def key(self) -> CellKey:
+        """The cell's canonical ``(seed, campaign, controller)`` key."""
+        return (self.seed, self.campaign, self.controller)
+
+
+def run_campaign_cell(spec: CampaignCellSpec) -> SasoScorecard:
+    """Run one campaign cell and reduce it to a scorecard.
+
+    This is the whole per-cell body, as a top-level picklable function:
+    fresh controller, fresh simulator, one fault schedule, one score.
+    Per-cell engine/controller trace events are suppressed (each cell's
+    simulator restarts at t = 0; see :meth:`CampaignRunner.run` for the
+    cell-granularity trace the runner emits instead).
+    """
+    # Local import, same layering note as in score_campaign_run.
+    from repro.experiments.harness import run_controlled
+
+    with tracing(NULL_TRACER):
+        run = run_controlled(
+            graph=spec.graph,
+            runtime=spec.runtime,
+            initial_parallelism=dict(spec.initial_parallelism),
+            controller=spec.controller_factory(),
+            policy_interval=spec.policy_interval,
+            duration=spec.duration,
+            engine_config=spec.engine_config,
+            scalable_operators=spec.scalable_operators,
+            fault_schedule=spec.schedule,
+        )
+    return score_campaign_run(
+        run,
+        controller=spec.controller,
+        campaign=spec.campaign,
+        schedule=spec.schedule,
+        initial_parallelism=spec.scored_parallelism,
+        policy_interval=spec.policy_interval,
+        target_rates=spec.target_rates,
+        duration=spec.duration,
+        tail_seconds=spec.tail_seconds,
+    )
+
+
+@dataclass(frozen=True)
+class _CellSuccess:
+    index: int
+    scorecard: SasoScorecard
+    telemetry: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class _CellFailure:
+    index: int
+    key: CellKey
+    error: str
+    traceback: str
+
+
+def _execute_cell_in_worker(
+    index: int, spec: CampaignCellSpec
+) -> Union[_CellSuccess, _CellFailure]:
+    """Worker-side cell body: fresh metrics registry, structured errors.
+
+    Failures are *returned*, not raised: ``concurrent.futures`` pickles
+    exceptions without their tracebacks, so the child formats its own
+    while it still has one. Telemetry lands in a per-worker registry
+    whose snapshot the parent merges back (workers inherit the parent's
+    ambient registry under the fork start method, but must not double
+    count into it).
+    """
+    registry = MetricsRegistry()
+    try:
+        with metering(registry):
+            card = run_campaign_cell(spec)
+    except Exception as error:  # noqa: BLE001 — resurfaced by parent
+        return _CellFailure(
+            index=index,
+            key=spec.key,
+            error=f"{type(error).__name__}: {error}",
+            traceback=traceback.format_exc(),
+        )
+    return _CellSuccess(
+        index=index, scorecard=card, telemetry=registry.snapshot()
+    )
+
+
+class CampaignExecutor:
+    """Pluggable backend deciding *where* campaign cells run.
+
+    Contract: given specs in canonical order, return exactly one
+    scorecard per spec, in the same order, each equal to
+    ``run_campaign_cell(spec)``. Executors may change where cells run —
+    never what they compute or how results are ordered.
+    """
+
+    def run_cells(
+        self, specs: Sequence[CampaignCellSpec]
+    ) -> List[SasoScorecard]:
+        raise NotImplementedError
+
+
+class SerialExecutor(CampaignExecutor):
+    """In-process, one cell at a time — the determinism-by-default
+    path. Telemetry flows directly into the ambient registry."""
+
+    def run_cells(
+        self, specs: Sequence[CampaignCellSpec]
+    ) -> List[SasoScorecard]:
+        return [run_campaign_cell(spec) for spec in specs]
+
+
+class ParallelExecutor(CampaignExecutor):
+    """Process-pool cell execution with serial-identical results.
+
+    Cells are embarrassingly parallel (each builds its own simulator),
+    so the pool only changes wall-clock time: results are merged by
+    submission index, per-worker telemetry snapshots are folded into
+    the ambient registry in that same canonical order, and a failing
+    cell surfaces as :class:`~repro.errors.FaultInjectionError` naming
+    its ``(seed, campaign, controller)`` key with the child's traceback
+    attached — pending cells are cancelled rather than left hanging.
+
+    ``timeout`` bounds the wait for the *next* finished cell (mainly a
+    test guard against pool deadlocks); ``None`` waits indefinitely.
+    """
+
+    def __init__(
+        self, jobs: int, *, timeout: Optional[float] = None
+    ) -> None:
+        if int(jobs) < 1:
+            raise FaultInjectionError(
+                f"parallel executor needs jobs >= 1, got {jobs}"
+            )
+        self._jobs = int(jobs)
+        self._timeout = timeout
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    def run_cells(
+        self, specs: Sequence[CampaignCellSpec]
+    ) -> List[SasoScorecard]:
+        specs = list(specs)
+        if not specs:
+            return []
+        cards: Dict[int, SasoScorecard] = {}
+        snapshots: Dict[int, Dict[str, object]] = {}
+        workers = min(self._jobs, len(specs))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers
+        ) as pool:
+            pending = {
+                pool.submit(_execute_cell_in_worker, index, spec): spec
+                for index, spec in enumerate(specs)
+            }
+            try:
+                for future in concurrent.futures.as_completed(
+                    pending, timeout=self._timeout
+                ):
+                    spec = pending.pop(future)
+                    try:
+                        outcome = future.result()
+                    except Exception as error:
+                        # Unpicklable specs and hard worker deaths
+                        # (BrokenProcessPool) surface here.
+                        raise FaultInjectionError(
+                            f"campaign cell {_cell_label(spec.key)} "
+                            f"died in a worker process: "
+                            f"{type(error).__name__}: {error}"
+                        ) from error
+                    if isinstance(outcome, _CellFailure):
+                        raise FaultInjectionError(
+                            f"campaign cell {_cell_label(outcome.key)} "
+                            f"failed in a worker process: "
+                            f"{outcome.error}\n"
+                            f"--- worker traceback ---\n"
+                            f"{outcome.traceback.rstrip()}"
+                        )
+                    cards[outcome.index] = outcome.scorecard
+                    snapshots[outcome.index] = outcome.telemetry
+            except concurrent.futures.TimeoutError:
+                waiting = ", ".join(
+                    sorted(
+                        _cell_label(spec.key)
+                        for spec in pending.values()
+                    )
+                )
+                raise FaultInjectionError(
+                    f"campaign cells still pending after "
+                    f"{self._timeout}s: {waiting}"
+                ) from None
+            finally:
+                for unfinished in pending:
+                    unfinished.cancel()
+        registry = active_registry()
+        if registry.enabled:
+            # Canonical order: merging is commutative for counters and
+            # histograms, but gauges are last-write-wins, so the fold
+            # order must not depend on completion order.
+            for index in sorted(snapshots):
+                registry.merge_snapshot(snapshots[index])
+        return [cards[index] for index in range(len(specs))]
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit value, else ``$REPRO_JOBS``,
+    else 1 (serial)."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise FaultInjectionError(
+                f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if int(jobs) < 1:
+        raise FaultInjectionError(f"jobs must be >= 1, got {jobs}")
+    return int(jobs)
+
+
+def make_executor(jobs: Optional[int] = None) -> CampaignExecutor:
+    """:class:`SerialExecutor` for one job (the default), else a
+    :class:`ParallelExecutor` with ``jobs`` workers."""
+    count = resolve_jobs(jobs)
+    if count == 1:
+        return SerialExecutor()
+    return ParallelExecutor(count)
+
+
 class CampaignRunner:
     """Executes campaigns × controllers and returns scorecards.
 
@@ -616,19 +914,28 @@ class CampaignRunner:
     because controller instances are stateful — every (campaign,
     controller) cell gets a fresh instance against a fresh simulator,
     so cells are fully independent and the whole matrix is replayable.
+    Factories must be picklable (module-level functions or partials)
+    when a :class:`ParallelExecutor` is used.
+
+    ``executor`` picks the backend cells run on (default
+    :class:`SerialExecutor`); ``scalable_operators`` optionally
+    overrides which operators the control loop may size (e.g. every
+    operator for Timely-style global scaling).
     """
 
     def __init__(
         self,
         *,
-        graph,
-        runtime,
+        graph: LogicalGraph,
+        runtime: Runtime,
         initial_parallelism: Mapping[str, int],
         controllers: Mapping[str, Callable[[], object]],
         policy_interval: float,
-        engine_config=None,
+        engine_config: Optional[EngineConfig] = None,
         target_rates: Optional[Mapping[str, float]] = None,
         tail_seconds: float = 120.0,
+        executor: Optional[CampaignExecutor] = None,
+        scalable_operators: Optional[Sequence[str]] = None,
     ) -> None:
         if not controllers:
             raise FaultInjectionError("runner needs >= 1 controller")
@@ -649,6 +956,14 @@ class CampaignRunner:
         self._interval = policy_interval
         self._engine_config = engine_config
         self._tail = tail_seconds
+        self._executor: CampaignExecutor = (
+            executor if executor is not None else SerialExecutor()
+        )
+        self._scalable = (
+            tuple(scalable_operators)
+            if scalable_operators is not None
+            else None
+        )
         if target_rates is None:
             # Offered load at the campaign horizon; exact for the
             # constant-rate workloads campaigns default to.
@@ -661,49 +976,104 @@ class CampaignRunner:
         rates: Dict[str, float] = {}
         for name in self._graph.sources():
             schedule = self._graph.operator(name).rate
-            assert schedule is not None
+            if schedule is None:
+                # Not a bare assert: asserts vanish under `python -O`,
+                # and the eventual TypeError deep inside scoring would
+                # not name the offending operator.
+                raise FaultInjectionError(
+                    f"source {name!r} has no rate schedule; pass "
+                    "explicit target_rates to score this graph"
+                )
             rates[name] = schedule.rate_at(duration)
         return rates
 
-    def run(
+    def cell_specs(
         self,
         generator: CampaignGenerator,
         campaigns: Union[int, Sequence[int]],
-    ) -> List[SasoScorecard]:
-        """Run every controller under every sampled campaign.
-
-        ``campaigns`` is a count (indices ``0..n-1``) or an explicit
-        sequence of campaign indices. Results are ordered campaign-
-        major, controller-minor (insertion order of the mapping).
-        """
-        # Local import, same layering note as in score_campaign_run.
-        from repro.experiments.harness import run_controlled
-
+    ) -> List[CampaignCellSpec]:
+        """The batch's cells in canonical order: campaign-major,
+        controller-minor (insertion order of the mapping)."""
         if isinstance(campaigns, int):
             indices: Sequence[int] = range(campaigns)
         else:
             indices = campaigns
         duration = generator.profile.duration
-        targets = self._targets_for(duration)
-        scalable = {
+        targets = dict(self._targets_for(duration))
+        scored_names: Sequence[str] = (
+            self._scalable
+            if self._scalable is not None
+            else self._graph.scalable_operators()
+        )
+        scored = {
             name: self._initial[name]
-            for name in self._graph.scalable_operators()
+            for name in scored_names
             if name in self._initial
         }
+        specs: List[CampaignCellSpec] = []
+        for campaign in indices:
+            schedule = generator.schedule(campaign)
+            for name, factory in self._controllers.items():
+                specs.append(
+                    CampaignCellSpec(
+                        seed=generator.seed,
+                        campaign=int(campaign),
+                        controller=name,
+                        profile=generator.profile.name,
+                        graph=self._graph,
+                        runtime=self._runtime,
+                        initial_parallelism=dict(self._initial),
+                        controller_factory=factory,
+                        policy_interval=self._interval,
+                        duration=duration,
+                        schedule=schedule,
+                        scored_parallelism=dict(scored),
+                        target_rates=targets,
+                        tail_seconds=self._tail,
+                        engine_config=self._engine_config,
+                        scalable_operators=self._scalable,
+                    )
+                )
+        return specs
+
+    def run(
+        self,
+        generator: CampaignGenerator,
+        campaigns: Union[int, Sequence[int]],
+        *,
+        executor: Optional[CampaignExecutor] = None,
+    ) -> List[SasoScorecard]:
+        """Run every controller under every sampled campaign.
+
+        ``campaigns`` is a count (indices ``0..n-1``) or an explicit
+        sequence of campaign indices. Results are ordered campaign-
+        major, controller-minor (insertion order of the mapping),
+        regardless of which ``executor`` ran the cells or in what order
+        they finished.
+        """
+        backend = executor if executor is not None else self._executor
+        if isinstance(campaigns, int):
+            indices: Sequence[int] = range(campaigns)
+        else:
+            indices = campaigns
+        specs = self.cell_specs(generator, indices)
+        duration = generator.profile.duration
+        profile = generator.profile.name
+        total = len(specs)
         # Campaign-level observability: cells are traced at cell
         # granularity with a cumulative virtual-time axis (cell i ends
         # at (i+1) x duration), so a campaign trace stays monotone even
         # though every cell's own simulator restarts at t = 0. The
         # per-cell engine/controller events are suppressed for the same
         # reason — use a traced single run (``repro run faults
-        # --trace``) for event-level detail.
+        # --trace``) for event-level detail. Emission happens *after*
+        # the executor returns, walking specs in canonical order, so
+        # the trace is byte-identical for serial and parallel backends.
         tracer = active_tracer()
         cells = active_registry().counter(
             "repro_campaign_cells_total",
             "Campaign cells (campaign x controller) completed.",
         )
-        profile = generator.profile.name
-        total = len(indices) * len(self._controllers)
         if tracer.enabled:
             tracer.emit(
                 "campaign.start",
@@ -714,46 +1084,28 @@ class CampaignRunner:
                 controllers=sorted(self._controllers),
                 cells=total,
             )
-        scorecards: List[SasoScorecard] = []
-        for campaign in indices:
-            schedule = generator.schedule(campaign)
-            for name, factory in self._controllers.items():
-                with tracing(NULL_TRACER):
-                    run = run_controlled(
-                        graph=self._graph,
-                        runtime=self._runtime,
-                        initial_parallelism=self._initial,
-                        controller=factory(),
-                        policy_interval=self._interval,
-                        duration=duration,
-                        engine_config=self._engine_config,
-                        fault_schedule=schedule,
-                    )
-                card = score_campaign_run(
-                    run,
-                    controller=name,
-                    campaign=campaign,
-                    schedule=schedule,
-                    initial_parallelism=scalable,
-                    policy_interval=self._interval,
-                    target_rates=targets,
-                    duration=duration,
-                    tail_seconds=self._tail,
+        scorecards = backend.run_cells(specs)
+        if len(scorecards) != total:
+            raise FaultInjectionError(
+                f"executor returned {len(scorecards)} scorecards "
+                f"for {total} cells"
+            )
+        for completed, (spec, card) in enumerate(
+            zip(specs, scorecards), start=1
+        ):
+            cells.inc(profile=profile, controller=spec.controller)
+            if tracer.enabled:
+                tracer.emit(
+                    "campaign.cell",
+                    completed * duration,
+                    profile=profile,
+                    campaign=spec.campaign,
+                    controller=spec.controller,
+                    completed=completed,
+                    cells=total,
+                    score=round(card.score, 6),
+                    failed_rescales=card.failed_rescales,
                 )
-                scorecards.append(card)
-                cells.inc(profile=profile, controller=name)
-                if tracer.enabled:
-                    tracer.emit(
-                        "campaign.cell",
-                        len(scorecards) * duration,
-                        profile=profile,
-                        campaign=campaign,
-                        controller=name,
-                        completed=len(scorecards),
-                        cells=total,
-                        score=round(card.score, 6),
-                        failed_rescales=card.failed_rescales,
-                    )
         if tracer.enabled:
             tracer.emit(
                 "campaign.end",
@@ -766,14 +1118,23 @@ class CampaignRunner:
 
 __all__ = [
     "AggregateScore",
+    "CampaignCellSpec",
+    "CampaignExecutor",
     "CampaignGenerator",
     "CampaignProfile",
     "CampaignRunner",
     "CampaignTargets",
+    "CellKey",
     "FAULT_KINDS",
+    "JOBS_ENV_VAR",
     "PROFILES",
+    "ParallelExecutor",
     "SCORE_WEIGHTS",
     "SasoScorecard",
+    "SerialExecutor",
     "aggregate_scorecards",
+    "make_executor",
+    "resolve_jobs",
+    "run_campaign_cell",
     "score_campaign_run",
 ]

@@ -378,6 +378,119 @@ class MetricsRegistry:
             ]
         }
 
+    def merge_snapshot(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value (last write wins, as if the instrument had been updated
+        here). This is how per-worker registries propagate telemetry
+        back to the parent when campaign cells run on a process pool —
+        the parent merges worker snapshots in canonical cell order, so
+        the fold is deterministic. Histogram families must agree on
+        bucket bounds (:class:`~repro.errors.TelemetryError` otherwise).
+        """
+        if not self.enabled:
+            # The null registry hands out *shared* no-op instruments;
+            # merging into them would cross-contaminate callers.
+            return
+        families = snapshot.get("metrics")
+        if not isinstance(families, list):
+            raise TelemetryError(
+                "malformed registry snapshot: no 'metrics' list"
+            )
+        for family in families:
+            self._merge_family(family)
+
+    def _merge_family(self, family: object) -> None:
+        if not isinstance(family, dict):
+            raise TelemetryError(
+                "malformed registry snapshot: family is not a dict"
+            )
+        name = family.get("name")
+        kind = family.get("type")
+        help_text = family.get("help", "")
+        samples = family.get("samples", [])
+        if (
+            not isinstance(name, str)
+            or not isinstance(kind, str)
+            or not isinstance(help_text, str)
+            or not isinstance(samples, list)
+        ):
+            raise TelemetryError(
+                f"malformed registry snapshot family {name!r}"
+            )
+        for raw in samples:
+            if not isinstance(raw, dict) or not isinstance(
+                raw.get("labels"), dict
+            ):
+                raise TelemetryError(
+                    f"malformed sample in snapshot family {name!r}"
+                )
+            key = _label_key(raw["labels"])
+            if kind == "counter":
+                self.counter(name, help_text)._inc(
+                    key, float(raw.get("value", 0.0))
+                )
+            elif kind == "gauge":
+                self.gauge(name, help_text)._set(
+                    key, float(raw.get("value", 0.0))
+                )
+            elif kind == "histogram":
+                self._merge_histogram_sample(name, help_text, key, raw)
+            else:
+                raise TelemetryError(
+                    f"cannot merge metric {name!r} of unknown "
+                    f"type {kind!r}"
+                )
+
+    def _merge_histogram_sample(
+        self,
+        name: str,
+        help_text: str,
+        key: LabelKey,
+        raw: Mapping[str, object],
+    ) -> None:
+        cumulative = raw.get("buckets")
+        if not isinstance(cumulative, dict):
+            raise TelemetryError(
+                f"histogram sample in snapshot family {name!r} "
+                "has no bucket dict"
+            )
+        bounds = [
+            float(bound) for bound in cumulative if bound != "+Inf"
+        ]
+        metric = self.histogram(
+            name, help_text, buckets=bounds or DEFAULT_BUCKETS
+        )
+        # snapshot() renders bounds with %g; compare in that space so
+        # float round-tripping cannot produce spurious mismatches.
+        expected = [f"{bound:g}" for bound in metric.buckets]
+        incoming = [
+            bound for bound in cumulative if bound != "+Inf"
+        ]
+        if expected != incoming:
+            raise TelemetryError(
+                f"cannot merge histogram {name!r}: bucket bounds "
+                f"{incoming} do not match registered {expected}"
+            )
+        counts = metric._counts.get(key)
+        if counts is None:
+            counts = [0] * (len(metric.buckets) + 1)
+            metric._counts[key] = counts
+            metric._sums[key] = 0.0
+        # Undo the cumulative encoding: successive finite diffs, then
+        # the +Inf overflow remainder.
+        previous = 0
+        total = 0
+        for position, bound in enumerate(incoming):
+            running = int(cumulative[bound])
+            counts[position] += running - previous
+            previous = running
+            total = running
+        overflow = int(cumulative.get("+Inf", total)) - previous
+        counts[-1] += overflow
+        metric._sums[key] += float(raw.get("sum", 0.0))
+
     def render_json(self) -> str:
         return json.dumps(self.snapshot(), sort_keys=True, indent=2)
 

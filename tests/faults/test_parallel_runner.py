@@ -1,0 +1,357 @@
+"""Serial ↔ parallel equivalence suite for the campaign executor.
+
+The `ParallelExecutor` contract: running the same cell specs on a
+process pool produces scorecards *byte-identical* (asserted through a
+`SasoScorecard` dict round-trip and `repr`) to the in-process
+`SerialExecutor`, in the same canonical (campaign-major,
+controller-minor) order, regardless of completion order. The suite also
+covers the failure paths — a controller factory that raises inside a
+child must surface the failing `(seed, campaign, controller)` cell with
+the child's traceback and must not hang the pool — plus jobs/env
+validation and the rate-less-source regression.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.runtimes import HeronRuntime
+from repro.errors import FaultInjectionError
+from repro.experiments.chaos import chaos_controllers, resolve_workload
+from repro.experiments.comparison import HERON_POLICY_INTERVAL
+from repro.faults.campaigns import (
+    JOBS_ENV_VAR,
+    PROFILES,
+    CampaignGenerator,
+    CampaignProfile,
+    CampaignRunner,
+    CampaignTargets,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_jobs,
+    run_campaign_cell,
+)
+from repro.workloads.wordcount import (
+    COUNT,
+    FLATMAP,
+    SINK,
+    SOURCE,
+    heron_wordcount_graph,
+)
+
+#: Generous per-cell ceiling: smoke cells finish in well under a second,
+#: so hitting this means the pool deadlocked, which is exactly what the
+#: timeout guard is for.
+POOL_TIMEOUT = 180.0
+
+
+def _cards_as_dicts(cards):
+    return [dataclasses.asdict(card) for card in cards]
+
+
+def _wordcount_generator(profile, seed=1):
+    return CampaignGenerator(
+        profile,
+        CampaignTargets.from_graph(heron_wordcount_graph()),
+        seed=seed,
+    )
+
+
+def _runner(workload="wordcount", tick=2.0):
+    return resolve_workload(workload).runner(tick)
+
+
+def _assert_equivalent(serial, parallel):
+    assert _cards_as_dicts(serial) == _cards_as_dicts(parallel)
+    assert repr(serial) == repr(parallel)
+
+
+class TestSerialParallelEquivalence:
+    def test_smoke_profile_golden(self):
+        """Fixed-seed golden cells: jobs=2 matches serial exactly."""
+        runner = _runner()
+        generator = _wordcount_generator(PROFILES["smoke"])
+        serial = runner.run(generator, 2, executor=SerialExecutor())
+        parallel = runner.run(
+            generator,
+            2,
+            executor=ParallelExecutor(2, timeout=POOL_TIMEOUT),
+        )
+        _assert_equivalent(serial, parallel)
+        # Canonical order is campaign-major, controller-minor.
+        assert [(c.campaign, c.controller) for c in serial] == [
+            (campaign, controller)
+            for campaign in (0, 1)
+            for controller in ("ds2", "ds2-legacy", "dhalion")
+        ]
+
+    def test_smoke_profile_jobs_three(self):
+        """More workers than campaigns still merges canonically."""
+        runner = _runner()
+        generator = _wordcount_generator(PROFILES["smoke"], seed=7)
+        serial = runner.run(generator, 2, executor=SerialExecutor())
+        parallel = runner.run(
+            generator,
+            2,
+            executor=ParallelExecutor(3, timeout=POOL_TIMEOUT),
+        )
+        _assert_equivalent(serial, parallel)
+
+    @pytest.mark.slow
+    def test_mixed_profile(self):
+        runner = _runner(tick=2.0)
+        generator = _wordcount_generator(PROFILES["mixed"])
+        serial = runner.run(generator, 2, executor=SerialExecutor())
+        parallel = runner.run(
+            generator,
+            2,
+            executor=ParallelExecutor(4, timeout=POOL_TIMEOUT),
+        )
+        _assert_equivalent(serial, parallel)
+
+    def test_nexmark_windowed_cell(self):
+        """A windowed Nexmark graph runs identically on the pool."""
+        runner = _runner("nexmark-q5")
+        generator = CampaignGenerator(
+            PROFILES["smoke"],
+            CampaignTargets.from_graph(
+                resolve_workload("nexmark-q5").graph_factory()
+            ),
+            seed=3,
+        )
+        serial = runner.run(generator, 1, executor=SerialExecutor())
+        parallel = runner.run(
+            generator,
+            1,
+            executor=ParallelExecutor(2, timeout=POOL_TIMEOUT),
+        )
+        _assert_equivalent(serial, parallel)
+
+    @pytest.mark.slow
+    def test_nexmark_timely_global_scaling_cell(self):
+        runner = _runner("nexmark-q5-timely")
+        generator = CampaignGenerator(
+            PROFILES["smoke"],
+            CampaignTargets.from_graph(
+                resolve_workload("nexmark-q5-timely").graph_factory()
+            ),
+            seed=3,
+        )
+        serial = runner.run(generator, 1, executor=SerialExecutor())
+        parallel = runner.run(
+            generator,
+            1,
+            executor=ParallelExecutor(2, timeout=POOL_TIMEOUT),
+        )
+        _assert_equivalent(serial, parallel)
+
+    @pytest.mark.slow
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        events=st.floats(min_value=5.0, max_value=30.0),
+        burstiness=st.floats(min_value=1.0, max_value=3.0),
+    )
+    def test_property_any_profile_matches(
+        self, seed, events, burstiness
+    ):
+        """Hypothesis: equivalence holds across sampled profiles."""
+        profile = CampaignProfile(
+            name="prop",
+            mix={"crash": 1.0, "dropout": 1.0, "lag": 1.0},
+            duration=160.0,
+            quiet_head=20.0,
+            events_per_1000s=events,
+            burstiness=burstiness,
+            dropout_seconds=(10.0, 40.0),
+            lag_seconds=(10.0, 30.0),
+        )
+        controllers = chaos_controllers()
+        runner = CampaignRunner(
+            graph=heron_wordcount_graph(),
+            runtime=HeronRuntime(),
+            initial_parallelism={
+                SOURCE: 2, FLATMAP: 1, COUNT: 1, SINK: 1,
+            },
+            controllers={"ds2": controllers["ds2"]},
+            policy_interval=HERON_POLICY_INTERVAL,
+        )
+        generator = _wordcount_generator(profile, seed=seed)
+        serial = runner.run(generator, 1, executor=SerialExecutor())
+        parallel = runner.run(
+            generator,
+            1,
+            executor=ParallelExecutor(2, timeout=POOL_TIMEOUT),
+        )
+        _assert_equivalent(serial, parallel)
+
+    def test_run_campaign_cell_matches_runner(self):
+        """The extracted cell body is exactly one cell of run()."""
+        runner = _runner()
+        generator = _wordcount_generator(PROFILES["smoke"])
+        specs = runner.cell_specs(generator, 1)
+        direct = [run_campaign_cell(spec) for spec in specs]
+        batch = runner.run(generator, 1, executor=SerialExecutor())
+        _assert_equivalent(direct, batch)
+
+    def test_empty_batch(self):
+        runner = _runner()
+        generator = _wordcount_generator(PROFILES["smoke"])
+        assert runner.run(
+            generator, 0, executor=ParallelExecutor(2)
+        ) == []
+
+
+def _exploding_controller():
+    raise RuntimeError("kaboom-controller")
+
+
+class TestWorkerFailure:
+    def _boom_runner(self):
+        return CampaignRunner(
+            graph=heron_wordcount_graph(),
+            runtime=HeronRuntime(),
+            initial_parallelism={
+                SOURCE: 2, FLATMAP: 1, COUNT: 1, SINK: 1,
+            },
+            controllers={"boom": _exploding_controller},
+            policy_interval=HERON_POLICY_INTERVAL,
+        )
+
+    def test_child_exception_names_cell_and_traceback(self):
+        runner = self._boom_runner()
+        generator = _wordcount_generator(PROFILES["smoke"], seed=9)
+        with pytest.raises(FaultInjectionError) as excinfo:
+            runner.run(
+                generator,
+                2,
+                executor=ParallelExecutor(2, timeout=POOL_TIMEOUT),
+            )
+        message = str(excinfo.value)
+        # The failing (seed, campaign, controller) cell is named...
+        assert "seed=9" in message
+        assert "campaign=" in message
+        assert "controller='boom'" in message
+        # ...with the child's own traceback attached.
+        assert "RuntimeError: kaboom-controller" in message
+        assert "worker traceback" in message
+        assert "_exploding_controller" in message
+
+    def test_serial_executor_raises_plainly(self):
+        runner = self._boom_runner()
+        generator = _wordcount_generator(PROFILES["smoke"], seed=9)
+        with pytest.raises(RuntimeError, match="kaboom-controller"):
+            runner.run(generator, 1, executor=SerialExecutor())
+
+    def test_unpicklable_factory_names_cell(self):
+        runner = CampaignRunner(
+            graph=heron_wordcount_graph(),
+            runtime=HeronRuntime(),
+            initial_parallelism={
+                SOURCE: 2, FLATMAP: 1, COUNT: 1, SINK: 1,
+            },
+            controllers={"lam": lambda: None},
+            policy_interval=HERON_POLICY_INTERVAL,
+        )
+        generator = _wordcount_generator(PROFILES["smoke"])
+        with pytest.raises(
+            FaultInjectionError, match="controller='lam'"
+        ):
+            runner.run(
+                generator,
+                1,
+                executor=ParallelExecutor(2, timeout=POOL_TIMEOUT),
+            )
+
+
+class TestJobsResolution:
+    def test_parallel_executor_rejects_nonpositive_jobs(self):
+        for jobs in (0, -1):
+            with pytest.raises(FaultInjectionError, match="jobs"):
+                ParallelExecutor(jobs)
+
+    def test_resolve_jobs_explicit(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        with pytest.raises(FaultInjectionError, match="jobs"):
+            resolve_jobs(0)
+        with pytest.raises(FaultInjectionError, match="jobs"):
+            resolve_jobs(-2)
+
+    def test_resolve_jobs_env(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs() == 1
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs() == 3
+        monkeypatch.setenv(JOBS_ENV_VAR, "")
+        assert resolve_jobs() == 1
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(FaultInjectionError, match=JOBS_ENV_VAR):
+            resolve_jobs()
+        monkeypatch.setenv(JOBS_ENV_VAR, "0")
+        with pytest.raises(FaultInjectionError, match="jobs"):
+            resolve_jobs()
+
+    def test_explicit_jobs_beat_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "8")
+        assert resolve_jobs(2) == 2
+
+    def test_make_executor_picks_backend(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert isinstance(make_executor(), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        executor = make_executor(4)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 4
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        from_env = make_executor()
+        assert isinstance(from_env, ParallelExecutor)
+        assert from_env.jobs == 2
+
+
+class TestRateLessSourceRegression:
+    def test_targets_for_raises_fault_injection_error(self):
+        """A rate-less source must raise (not assert) with the
+        operator named — asserts vanish under `python -O`."""
+        graph = heron_wordcount_graph()
+        runner = CampaignRunner(
+            graph=graph,
+            runtime=HeronRuntime(),
+            initial_parallelism={
+                SOURCE: 2, FLATMAP: 1, COUNT: 1, SINK: 1,
+            },
+            controllers=chaos_controllers(),
+            policy_interval=HERON_POLICY_INTERVAL,
+        )
+        # Sources cannot normally be built without a rate (the spec
+        # validates it), so strip it after construction to model a
+        # hand-assembled or future graph variant.
+        object.__setattr__(graph.operator(SOURCE), "rate", None)
+        with pytest.raises(FaultInjectionError) as excinfo:
+            runner._targets_for(240.0)
+        message = str(excinfo.value)
+        assert SOURCE in message
+        assert "target_rates" in message
+        assert not isinstance(excinfo.value, AssertionError)
+
+    def test_explicit_target_rates_bypass_source_rates(self):
+        graph = heron_wordcount_graph()
+        runner = CampaignRunner(
+            graph=graph,
+            runtime=HeronRuntime(),
+            initial_parallelism={
+                SOURCE: 2, FLATMAP: 1, COUNT: 1, SINK: 1,
+            },
+            controllers=chaos_controllers(),
+            policy_interval=HERON_POLICY_INTERVAL,
+            target_rates={SOURCE: 1000.0},
+        )
+        object.__setattr__(graph.operator(SOURCE), "rate", None)
+        assert runner._targets_for(240.0) == {SOURCE: 1000.0}

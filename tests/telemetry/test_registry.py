@@ -173,6 +173,90 @@ class TestNullRegistry:
         assert NULL_REGISTRY.enabled is False
 
 
+class TestMergeSnapshot:
+    def test_counters_accumulate(self):
+        worker_a, worker_b = MetricsRegistry(), MetricsRegistry()
+        worker_a.counter("cells_total").inc(2, profile="mixed")
+        worker_b.counter("cells_total").inc(3, profile="mixed")
+        worker_b.counter("cells_total").inc(1, profile="smoke")
+        parent = MetricsRegistry()
+        parent.counter("cells_total").inc(1, profile="mixed")
+        parent.merge_snapshot(worker_a.snapshot())
+        parent.merge_snapshot(worker_b.snapshot())
+        counter = parent.counter("cells_total")
+        assert counter.value(profile="mixed") == 6.0
+        assert counter.value(profile="smoke") == 1.0
+
+    def test_gauges_take_incoming_value(self):
+        worker = MetricsRegistry()
+        worker.gauge("parallelism").set(8.0, op="flatmap")
+        parent = MetricsRegistry()
+        parent.gauge("parallelism").set(2.0, op="flatmap")
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.gauge("parallelism").value(op="flatmap") == 8.0
+
+    def test_histograms_merge_counts_and_sums(self):
+        worker_a, worker_b = MetricsRegistry(), MetricsRegistry()
+        for value in (0.0002, 0.01, 100.0):
+            worker_a.histogram("step_seconds").observe(value)
+        worker_b.histogram("step_seconds").observe(0.01)
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker_a.snapshot())
+        parent.merge_snapshot(worker_b.snapshot())
+        merged = parent.histogram("step_seconds")
+        assert merged.count() == 4
+        assert merged.sum() == pytest.approx(100.0202)
+        # Merging must be equivalent to having observed directly.
+        direct = MetricsRegistry()
+        for value in (0.0002, 0.01, 100.0, 0.01):
+            direct.histogram("step_seconds").observe(value)
+        assert parent.snapshot() == direct.snapshot()
+
+    def test_merge_then_snapshot_round_trips(self):
+        worker = MetricsRegistry()
+        worker.counter("a_total", "help a").inc(4)
+        worker.gauge("g", "help g").set(7.0, op="x")
+        worker.histogram("h").observe(0.3, op="x")
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.snapshot() == worker.snapshot()
+
+    def test_histogram_bucket_mismatch_raises(self):
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(1.0, 2.0, 3.0)).observe(0.5)
+        with pytest.raises(TelemetryError, match="bucket bounds"):
+            parent.merge_snapshot(worker.snapshot())
+
+    def test_kind_mismatch_raises(self):
+        worker = MetricsRegistry()
+        worker.counter("m_total").inc()
+        parent = MetricsRegistry()
+        parent.gauge("m_total").set(1.0)
+        with pytest.raises(TelemetryError, match="already registered"):
+            parent.merge_snapshot(worker.snapshot())
+
+    def test_malformed_snapshot_raises(self):
+        parent = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="metrics"):
+            parent.merge_snapshot({})
+        with pytest.raises(TelemetryError, match="family"):
+            parent.merge_snapshot({"metrics": ["nonsense"]})
+        with pytest.raises(TelemetryError, match="unknown"):
+            parent.merge_snapshot({"metrics": [{
+                "name": "m", "type": "summary", "help": "",
+                "samples": [{"labels": {}, "value": 1.0}],
+            }]})
+
+    def test_null_registry_merge_is_inert(self):
+        worker = MetricsRegistry()
+        worker.counter("a_total").inc(5)
+        null = NullRegistry()
+        null.merge_snapshot(worker.snapshot())
+        assert null.counter("a_total").value() == 0.0
+
+
 class TestAmbient:
     def test_default_is_null(self):
         assert active_registry() is NULL_REGISTRY

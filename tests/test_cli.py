@@ -81,6 +81,40 @@ class TestParser:
         assert main(["run", "chaos", "--profile", "volcano"]) == 2
         assert "invalid chaos campaign" in capsys.readouterr().err
 
+    def test_jobs_and_workload_arguments_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "run", "chaos",
+            "--workload", "nexmark-q5",
+            "--jobs", "4",
+        ])
+        assert args.experiment == "chaos"
+        assert args.workload == "nexmark-q5"
+        assert args.jobs == 4
+
+    def test_jobs_and_workload_rejected_for_other_experiments(
+        self, capsys
+    ):
+        assert main(["run", "fig6", "--workload", "nexmark-q5"]) == 2
+        assert "--workload" in capsys.readouterr().err
+        assert main(["run", "faults", "--jobs", "4"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("jobs", ["0", "-3"])
+    def test_nonpositive_jobs_rejected(self, jobs, capsys):
+        assert main(["run", "chaos", "--jobs", jobs]) == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+        assert "positive" in err
+
+    def test_unknown_chaos_workload_rejected(self, capsys):
+        assert main([
+            "run", "chaos", "--workload", "volcano", "--seeds", "1",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "invalid chaos campaign" in err
+        assert "nexmark-q5" in err
+
 
 class TestLintCommand:
     def test_clean_file_exits_zero(self, capsys):
@@ -234,6 +268,18 @@ class TestCommands:
         assert "Crash-recovery outage per runtime" in out
         for runtime in ("flink", "timely", "heron"):
             assert runtime in out
+
+    @pytest.mark.slow
+    def test_run_chaos_nexmark_workload_with_jobs(self, capsys):
+        assert main([
+            "run", "chaos", "--profile", "smoke", "--seeds", "1",
+            "--workload", "nexmark-q5", "--jobs", "2",
+            "--scale", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos campaign 'smoke' on 'nexmark-q5'" in out
+        for controller in ("ds2", "ds2-legacy", "dhalion"):
+            assert controller in out
 
 
 @pytest.fixture(scope="module")
