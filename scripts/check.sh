@@ -14,7 +14,10 @@
 #   5. trace schema  - golden-file JSONL trace schema check
 #   6. parallel chaos equivalence
 #                    - smoke-profile serial vs process-pool scorecards
-#   7. pytest        - tier-1 test suite
+#   7. kill-and-resume equivalence
+#                    - hard-killed chaos run resumed from its journal
+#                      must match an uninterrupted run byte-for-byte
+#   8. pytest        - tier-1 test suite
 #
 # ruff and mypy are optional dev dependencies (`pip install -e .[lint]`).
 # When they are missing the stage is skipped with a notice rather than
@@ -81,6 +84,11 @@ run_stage "trace schema (golden file)" \
 # byte-identical scorecards to the serial one on the smoke profile.
 run_stage "parallel chaos equivalence (smoke)" \
     python -m pytest -q tests/faults/test_parallel_runner.py -k smoke
+# Crash-safety gate: a chaos run hard-killed mid-campaign and resumed
+# from its checkpoint journal must print byte-identical output to an
+# uninterrupted run (serial and process-pool).
+run_stage "kill-and-resume equivalence (smoke)" \
+    python -m pytest -q tests/faults/test_checkpoint.py -k kill_and_resume
 
 if [ "$FAST" -eq 1 ]; then
     skip_stage "pytest" "--fast"

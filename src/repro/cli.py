@@ -7,7 +7,9 @@ Commands:
 * ``run <experiment>`` — run one experiment (optionally scaled down)
   and print the regenerated rows. ``--trace FILE`` records a JSONL
   trace of the run; ``--telemetry`` prints the runtime metrics
-  registry afterwards.
+  registry afterwards. For ``chaos``, ``--checkpoint FILE`` journals
+  every completed cell durably (retry/quarantine supervision included)
+  and ``--resume`` continues an interrupted run byte-identically.
 * ``decide`` — one-shot DS2 sizing of the Heron wordcount (the §5.2
   headline, in two seconds), with the per-operator Eq. 7/8 traversal.
 * ``explain`` — render a scaling-decision audit: the one-shot sizing
@@ -165,6 +167,8 @@ def _run_chaos(
     seed: int = 1,
     workload: str = "wordcount",
     jobs: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> str:
     from repro.experiments.chaos import chaos_report, run_chaos
 
@@ -178,6 +182,8 @@ def _run_chaos(
         tick=tick,
         workload=workload,
         jobs=jobs,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     return chaos_report(result)
 
@@ -245,6 +251,26 @@ def cmd_list_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_resume_command(args: argparse.Namespace) -> str:
+    """The exact command that resumes an interrupted chaos run."""
+    parts = ["python -m repro run chaos"]
+    if getattr(args, "scale", 1.0) != 1.0:
+        parts.append(f"--scale {args.scale:g}")
+    if getattr(args, "profile", None) is not None:
+        parts.append(f"--profile {args.profile}")
+    if getattr(args, "seeds", None) is not None:
+        parts.append(f"--seeds {args.seeds}")
+    if getattr(args, "fault_seed", 1) != 1:
+        parts.append(f"--fault-seed {args.fault_seed}")
+    if getattr(args, "workload", None) is not None:
+        parts.append(f"--workload {args.workload}")
+    if getattr(args, "jobs", None) is not None:
+        parts.append(f"--jobs {args.jobs}")
+    parts.append(f"--checkpoint {args.checkpoint}")
+    parts.append("--resume")
+    return " ".join(parts)
+
+
 def _execute_run(
     args: argparse.Namespace,
     experiment: str,
@@ -257,8 +283,10 @@ def _execute_run(
 ) -> int:
     """Dispatch one (already validated) experiment and print its rows."""
     if experiment == "chaos":
-        from repro.errors import FaultInjectionError
+        from repro.errors import CheckpointError, FaultInjectionError
+        from repro.faults.checkpoint import CampaignInterrupted
 
+        checkpoint = getattr(args, "checkpoint", None)
         try:
             print(
                 _run_chaos(
@@ -270,8 +298,21 @@ def _execute_run(
                         workload if workload is not None else "wordcount"
                     ),
                     jobs=jobs,
+                    checkpoint=checkpoint,
+                    resume=bool(getattr(args, "resume", False)),
                 )
             )
+        except CheckpointError as error:
+            print(f"unusable checkpoint: {error}", file=sys.stderr)
+            return 2
+        except CampaignInterrupted as error:
+            print(str(error), file=sys.stderr)
+            if error.path is not None:
+                print(
+                    f"resume with: {_chaos_resume_command(args)}",
+                    file=sys.stderr,
+                )
+            return 130
         except FaultInjectionError as error:
             print(f"invalid chaos campaign: {error}", file=sys.stderr)
             return 2
@@ -318,15 +359,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     seeds = getattr(args, "seeds", None)
     workload = getattr(args, "workload", None)
     jobs = getattr(args, "jobs", None)
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = bool(getattr(args, "resume", False))
     if (
         profile is not None
         or seeds is not None
         or workload is not None
         or jobs is not None
+        or checkpoint is not None
+        or resume
     ) and experiment != "chaos":
         print(
-            "--profile/--seeds/--workload/--jobs only apply to the "
-            "'chaos' experiment",
+            "--profile/--seeds/--workload/--jobs/--checkpoint/"
+            "--resume only apply to the 'chaos' experiment",
+            file=sys.stderr,
+        )
+        return 2
+    if resume and checkpoint is None:
+        print(
+            "--resume requires --checkpoint FILE (the journal to "
+            "resume from)",
             file=sys.stderr,
         )
         return 2
@@ -693,6 +745,25 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for the 'chaos' experiment's campaign "
             "cells (default: $REPRO_JOBS, else 1 = serial; results "
             "are byte-identical either way)"
+        ),
+    )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help=(
+            "durable cell journal for the 'chaos' experiment: every "
+            "completed cell is fsynced to FILE, failing cells are "
+            "retried then quarantined, and a killed run resumes with "
+            "--resume (byte-identical output)"
+        ),
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted 'chaos' run from its --checkpoint "
+            "journal instead of starting fresh"
         ),
     )
     run.add_argument(

@@ -12,6 +12,7 @@ This package is the paper's primary contribution:
 * :mod:`repro.core.baselines` — Dhalion-style and threshold baselines.
 """
 
+from repro.core.backoff import capped_backoff, invalid_backoff_reason
 from repro.core.controller import (
     ControlLoop,
     Controller,
@@ -60,7 +61,9 @@ __all__ = [
     "ScalingCurve",
     "ScalingCurveLearner",
     "ScalingEvent",
+    "capped_backoff",
     "compute_optimal_parallelism",
+    "invalid_backoff_reason",
     "microbenchmark_operator",
     "offline_provisioning",
 ]

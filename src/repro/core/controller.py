@@ -29,6 +29,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.backoff import capped_backoff, invalid_backoff_reason
 from repro.dataflow.graph import LogicalGraph
 from repro.dataflow.physical import PhysicalPlan
 from repro.engine.simulator import Simulator, TickStats
@@ -128,23 +129,26 @@ class RetryConfig:
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise PolicyError("max_attempts must be >= 1")
-        if self.backoff_base < 1.0:
-            raise PolicyError("backoff_base must be >= 1")
-        if self.initial_backoff_intervals <= 0:
-            raise PolicyError("initial_backoff_intervals must be > 0")
-        if self.max_backoff_intervals < self.initial_backoff_intervals:
-            raise PolicyError(
-                "max_backoff_intervals must be >= initial_backoff_intervals"
-            )
+        reason = invalid_backoff_reason(
+            base=self.backoff_base,
+            initial=self.initial_backoff_intervals,
+            cap=self.max_backoff_intervals,
+            base_name="backoff_base",
+            initial_name="initial_backoff_intervals",
+            cap_name="max_backoff_intervals",
+        )
+        if reason is not None:
+            raise PolicyError(reason)
 
     def backoff_intervals(self, attempt: int) -> float:
         """Policy intervals to wait after failed attempt ``attempt``."""
         if attempt < 1:
             raise PolicyError("attempt must be >= 1")
-        return min(
-            self.initial_backoff_intervals
-            * self.backoff_base ** (attempt - 1),
-            self.max_backoff_intervals,
+        return capped_backoff(
+            attempt,
+            base=self.backoff_base,
+            initial=self.initial_backoff_intervals,
+            cap=self.max_backoff_intervals,
         )
 
 

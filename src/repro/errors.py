@@ -54,6 +54,12 @@ class StaleMetricsError(ReproError):
     pipeline lagged and re-delivered an already-seen window)."""
 
 
+class CheckpointError(ReproError):
+    """Raised for unusable campaign checkpoints (mid-file corruption,
+    schema-version or header mismatches, cells recorded under a
+    different campaign configuration, unreadable journal files)."""
+
+
 class TelemetryError(ReproError):
     """Raised for invalid telemetry requests (malformed metric names,
     duplicate registrations with conflicting types, negative counter

@@ -31,6 +31,7 @@ spec pickles cleanly across worker processes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
@@ -65,8 +66,18 @@ from repro.faults.campaigns import (
     CampaignRunner,
     CampaignTargets,
     SasoScorecard,
+    _cell_label,
     aggregate_scorecards,
     make_executor,
+    resolve_jobs,
+)
+from repro.faults.checkpoint import (
+    CampaignCoverage,
+    CellRetryPolicy,
+    CheckpointJournal,
+    JournalHeader,
+    SupervisedExecutor,
+    run_supervised_campaign,
 )
 from repro.workloads.nexmark import ALL_QUERIES, get_query
 from repro.workloads.wordcount import (
@@ -330,7 +341,12 @@ def resolve_workload(name: str) -> ChaosWorkload:
 @dataclass(frozen=True)
 class ChaosResult:
     """One chaos batch: raw scorecards, per-controller aggregates, and
-    (optionally) per-runtime crash-recovery outage samples."""
+    (optionally) per-runtime crash-recovery outage samples.
+
+    ``coverage`` is set for supervised (checkpointed) runs: exactly how
+    many cells were attempted, completed, and quarantined — a batch
+    with quarantined cells still aggregates, it just says so.
+    """
 
     profile: str
     campaigns: int
@@ -339,6 +355,7 @@ class ChaosResult:
     aggregates: Dict[str, AggregateScore]
     recovery: Dict[str, List[float]]
     workload: str = DEFAULT_WORKLOAD
+    coverage: Optional[CampaignCoverage] = None
 
     def ranking(self) -> List[str]:
         """Controllers from best (lowest mean score) to worst."""
@@ -357,6 +374,10 @@ def run_chaos(
     workload: str = DEFAULT_WORKLOAD,
     jobs: Optional[int] = None,
     executor: Optional[CampaignExecutor] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    retry: Optional[CellRetryPolicy] = None,
+    cell_timeout: Optional[float] = None,
 ) -> ChaosResult:
     """Run ``campaigns`` sampled campaigns × the workload's controllers.
 
@@ -374,9 +395,44 @@ def run_chaos(
             ``$REPRO_JOBS``, 1 (the default) runs serially in-process.
             Results are byte-identical either way.
         executor: Explicit cell executor; overrides ``jobs``.
+            Incompatible with ``checkpoint``.
+        checkpoint: Journal path enabling the supervised, crash-safe
+            path: every completed cell is durably recorded, failing
+            cells are retried then quarantined, and the result carries
+            :attr:`ChaosResult.coverage`. A hard-killed run resumes
+            with ``resume=True`` and produces byte-identical output.
+        resume: Resume from an existing ``checkpoint`` journal instead
+            of starting fresh (requires ``checkpoint``).
+        retry: Per-cell retry policy for the supervised path.
+        cell_timeout: Per-cell wall-clock budget (seconds) for the
+            supervised path; a cell over budget counts as a failed
+            attempt.
     """
     spec = resolve_profile(profile)
     load = resolve_workload(workload)
+    if checkpoint is not None:
+        if executor is not None:
+            raise FaultInjectionError(
+                "pass either an explicit executor or a checkpoint "
+                "path, not both"
+            )
+        return _run_chaos_supervised(
+            spec,
+            load,
+            campaigns=int(campaigns),
+            seed=int(seed),
+            tick=tick,
+            include_recovery=include_recovery,
+            jobs=jobs,
+            checkpoint=checkpoint,
+            resume=resume,
+            retry=retry,
+            cell_timeout=cell_timeout,
+        )
+    if resume:
+        raise FaultInjectionError(
+            "resume requires a checkpoint path"
+        )
     if executor is None:
         executor = make_executor(jobs)
     runner = load.runner(tick, executor=executor)
@@ -397,6 +453,64 @@ def run_chaos(
         aggregates=aggregate_scorecards(scorecards),
         recovery=recovery,
         workload=load.name,
+    )
+
+
+def _run_chaos_supervised(
+    spec: CampaignProfile,
+    load: ChaosWorkload,
+    *,
+    campaigns: int,
+    seed: int,
+    tick: float,
+    include_recovery: bool,
+    jobs: Optional[int],
+    checkpoint: str,
+    resume: bool,
+    retry: Optional[CellRetryPolicy],
+    cell_timeout: Optional[float],
+) -> ChaosResult:
+    """The crash-safe chaos path: journal + supervising executor."""
+    header = JournalHeader(
+        profile=spec.name,
+        workload=load.name,
+        seed=seed,
+        campaigns=campaigns,
+        controllers=tuple(sorted(load.controllers_factory())),
+    )
+    journal = CheckpointJournal.open(checkpoint, header, resume=resume)
+    try:
+        for note in journal.warnings:
+            warnings.warn(note, RuntimeWarning, stacklevel=3)
+        supervisor = SupervisedExecutor(
+            jobs=resolve_jobs(jobs),
+            retry=retry,
+            cell_timeout=cell_timeout,
+            journal=journal,
+        )
+        runner = load.runner(tick)
+        generator = CampaignGenerator(
+            spec,
+            CampaignTargets.from_graph(load.graph_factory()),
+            seed=seed,
+        )
+        outcome = run_supervised_campaign(
+            runner, generator, campaigns, supervisor
+        )
+    finally:
+        journal.close()
+    recovery: Dict[str, List[float]] = {}
+    if include_recovery:
+        recovery = recovery_distributions(seed=seed, tick=tick)
+    return ChaosResult(
+        profile=spec.name,
+        campaigns=campaigns,
+        seed=seed,
+        scorecards=outcome.scorecards,
+        aggregates=aggregate_scorecards(outcome.scorecards),
+        recovery=recovery,
+        workload=load.name,
+        coverage=outcome.coverage,
     )
 
 
@@ -522,6 +636,18 @@ def chaos_report(result: ChaosResult) -> str:
                 "(crash-only campaigns, fixed configuration)"
             ),
         )
+    if result.coverage is not None:
+        cov = result.coverage
+        lines = [
+            f"Coverage: {cov.completed}/{cov.cells} cells completed, "
+            f"{cov.quarantined} quarantined"
+        ]
+        for cell in cov.quarantined_cells:
+            lines.append(
+                f"  quarantined {_cell_label(cell.key)} after "
+                f"{cell.attempts} attempt(s): {cell.error}"
+            )
+        report += "\n\n" + "\n".join(lines)
     return report
 
 

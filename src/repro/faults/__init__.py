@@ -6,7 +6,10 @@ The subsystem has four parts: declarative, validated fault *events*
 schedule to a live simulator without forking it
 (:mod:`repro.faults.injector`), and seeded chaos *campaigns* that
 sample many schedules from a declarative profile and score controllers
-under them (:mod:`repro.faults.campaigns`).
+under them (:mod:`repro.faults.campaigns`). Campaigns become
+crash-safe through :mod:`repro.faults.checkpoint`: a durable journal
+of completed cells plus a supervising executor with per-cell timeouts,
+bounded retry, and quarantine.
 """
 
 from repro.faults.events import (
@@ -45,16 +48,35 @@ from repro.faults.campaigns import (
     run_campaign_cell,
     score_campaign_run,
 )
+from repro.faults.checkpoint import (
+    CHECKPOINT_VERSION,
+    CampaignCoverage,
+    CampaignInterrupted,
+    CellRetryPolicy,
+    CheckpointJournal,
+    JournalCell,
+    JournalHeader,
+    QuarantinedCell,
+    SupervisedExecutor,
+    SupervisedOutcome,
+    cell_fingerprint,
+    run_supervised_campaign,
+)
 
 __all__ = [
     "AggregateScore",
+    "CHECKPOINT_VERSION",
     "CampaignCellSpec",
+    "CampaignCoverage",
     "CampaignExecutor",
     "CampaignGenerator",
+    "CampaignInterrupted",
     "CampaignProfile",
     "CampaignRunner",
     "CampaignTargets",
     "CellKey",
+    "CellRetryPolicy",
+    "CheckpointJournal",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
@@ -62,19 +84,26 @@ __all__ = [
     "FaultSchedule",
     "InstanceCrash",
     "JOBS_ENV_VAR",
+    "JournalCell",
+    "JournalHeader",
     "MetricCorruption",
     "MetricDropout",
     "MetricLag",
     "PROFILES",
     "ParallelExecutor",
+    "QuarantinedCell",
     "RescaleFailure",
     "SCORE_WEIGHTS",
     "SasoScorecard",
     "SerialExecutor",
+    "SupervisedExecutor",
+    "SupervisedOutcome",
     "aggregate_scorecards",
+    "cell_fingerprint",
     "make_executor",
     "parse_faults",
     "resolve_jobs",
     "run_campaign_cell",
+    "run_supervised_campaign",
     "score_campaign_run",
 ]

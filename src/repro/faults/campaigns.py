@@ -80,6 +80,7 @@ if TYPE_CHECKING:
     from repro.engine.runtimes import Runtime
     from repro.engine.simulator import EngineConfig
     from repro.experiments.harness import ExperimentRun
+    from repro.faults.checkpoint import CheckpointJournal
 
 #: Fault kinds a profile's mix may weight (the ``--faults`` grammar's
 #: vocabulary). New kinds are appended, never inserted: the canonical
@@ -778,12 +779,52 @@ class CampaignExecutor:
 
 class SerialExecutor(CampaignExecutor):
     """In-process, one cell at a time — the determinism-by-default
-    path. Telemetry flows directly into the ambient registry."""
+    path. Telemetry flows directly into the ambient registry.
+
+    With a ``checkpoint`` journal attached, every completed cell is
+    durably appended (scorecard + per-cell telemetry snapshot, fsynced)
+    before the next cell starts, cells already in the journal are not
+    re-run, and telemetry is folded into the ambient registry in
+    canonical cell order at the end — so a journaled run (fresh or
+    resumed) is byte-identical to a plain serial run.
+    """
+
+    def __init__(
+        self, *, checkpoint: Optional["CheckpointJournal"] = None
+    ) -> None:
+        self._checkpoint = checkpoint
 
     def run_cells(
         self, specs: Sequence[CampaignCellSpec]
     ) -> List[SasoScorecard]:
-        return [run_campaign_cell(spec) for spec in specs]
+        journal = self._checkpoint
+        if journal is None:
+            return [run_campaign_cell(spec) for spec in specs]
+        specs = list(specs)
+        cards: Dict[int, SasoScorecard] = {}
+        snapshots: Dict[int, Dict[str, object]] = {}
+        for index, cell in journal.match(specs).items():
+            cards[index] = cell.scorecard
+            snapshots[index] = cell.telemetry
+        for index, spec in enumerate(specs):
+            if index in cards:
+                continue
+            # Meter into a private registry so the journal captures
+            # exactly this cell's telemetry; the ambient fold below
+            # reproduces direct metering (canonical order, counters
+            # and histograms accumulate, gauges last-write-wins).
+            registry = MetricsRegistry()
+            with metering(registry):
+                card = run_campaign_cell(spec)
+            snapshot = registry.snapshot()
+            journal.record_cell(spec, card, snapshot)
+            cards[index] = card
+            snapshots[index] = snapshot
+        ambient = active_registry()
+        if ambient.enabled:
+            for index in sorted(snapshots):
+                ambient.merge_snapshot(snapshots[index])
+        return [cards[index] for index in range(len(specs))]
 
 
 class ParallelExecutor(CampaignExecutor):
@@ -799,10 +840,19 @@ class ParallelExecutor(CampaignExecutor):
 
     ``timeout`` bounds the wait for the *next* finished cell (mainly a
     test guard against pool deadlocks); ``None`` waits indefinitely.
+
+    With a ``checkpoint`` journal attached, cells already in the
+    journal are skipped, every completed cell is durably appended the
+    moment its worker returns it, and the ambient telemetry fold stays
+    canonical — resumed and uninterrupted runs are byte-identical.
     """
 
     def __init__(
-        self, jobs: int, *, timeout: Optional[float] = None
+        self,
+        jobs: int,
+        *,
+        timeout: Optional[float] = None,
+        checkpoint: Optional["CheckpointJournal"] = None,
     ) -> None:
         if int(jobs) < 1:
             raise FaultInjectionError(
@@ -810,6 +860,7 @@ class ParallelExecutor(CampaignExecutor):
             )
         self._jobs = int(jobs)
         self._timeout = timeout
+        self._checkpoint = checkpoint
 
     @property
     def jobs(self) -> int:
@@ -823,13 +874,48 @@ class ParallelExecutor(CampaignExecutor):
             return []
         cards: Dict[int, SasoScorecard] = {}
         snapshots: Dict[int, Dict[str, object]] = {}
-        workers = min(self._jobs, len(specs))
-        with concurrent.futures.ProcessPoolExecutor(
+        journal = self._checkpoint
+        if journal is not None:
+            for index, cell in journal.match(specs).items():
+                cards[index] = cell.scorecard
+                snapshots[index] = cell.telemetry
+        missing = [
+            index for index in range(len(specs)) if index not in cards
+        ]
+        if missing:
+            self._run_missing(specs, missing, cards, snapshots)
+        registry = active_registry()
+        if registry.enabled:
+            # Canonical order: merging is commutative for counters and
+            # histograms, but gauges are last-write-wins, so the fold
+            # order must not depend on completion order.
+            for index in sorted(snapshots):
+                registry.merge_snapshot(snapshots[index])
+        return [cards[index] for index in range(len(specs))]
+
+    def _run_missing(
+        self,
+        specs: Sequence[CampaignCellSpec],
+        missing: Sequence[int],
+        cards: Dict[int, SasoScorecard],
+        snapshots: Dict[int, Dict[str, object]],
+    ) -> None:
+        journal = self._checkpoint
+        workers = min(self._jobs, len(missing))
+        pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=workers
-        ) as pool:
+        )
+        # Only the success path may block in shutdown: on interrupt or
+        # error, waiting for in-flight cells would hang the process and
+        # cancelling only *queued* futures (the old behaviour) leaked
+        # busy workers until they finished on their own.
+        graceful = False
+        try:
             pending = {
-                pool.submit(_execute_cell_in_worker, index, spec): spec
-                for index, spec in enumerate(specs)
+                pool.submit(
+                    _execute_cell_in_worker, index, specs[index]
+                ): specs[index]
+                for index in missing
             }
             try:
                 for future in concurrent.futures.as_completed(
@@ -854,6 +940,10 @@ class ParallelExecutor(CampaignExecutor):
                             f"--- worker traceback ---\n"
                             f"{outcome.traceback.rstrip()}"
                         )
+                    if journal is not None:
+                        journal.record_cell(
+                            spec, outcome.scorecard, outcome.telemetry
+                        )
                     cards[outcome.index] = outcome.scorecard
                     snapshots[outcome.index] = outcome.telemetry
             except concurrent.futures.TimeoutError:
@@ -867,17 +957,9 @@ class ParallelExecutor(CampaignExecutor):
                     f"campaign cells still pending after "
                     f"{self._timeout}s: {waiting}"
                 ) from None
-            finally:
-                for unfinished in pending:
-                    unfinished.cancel()
-        registry = active_registry()
-        if registry.enabled:
-            # Canonical order: merging is commutative for counters and
-            # histograms, but gauges are last-write-wins, so the fold
-            # order must not depend on completion order.
-            for index in sorted(snapshots):
-                registry.merge_snapshot(snapshots[index])
-        return [cards[index] for index in range(len(specs))]
+            graceful = True
+        finally:
+            pool.shutdown(wait=graceful, cancel_futures=True)
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:

@@ -1,0 +1,1286 @@
+"""Crash-safe chaos campaigns: durable cell journal + supervision.
+
+A chaos campaign is hours of seeded simulation reduced to one scorecard
+per ``(seed, campaign, controller)`` cell. Before this module, a
+SIGKILL, a worker OOM, or a single poison cell threw every finished
+cell away and aborted the run. The two layers here hold the harness to
+the standard it grades controllers by:
+
+* :class:`CheckpointJournal` — a durable, append-only JSONL journal.
+  One fsynced record per completed cell (canonical cell key, the full
+  scorecard payload, the cell's per-worker telemetry snapshot, and a
+  content hash of the cell's configuration). Recovery tolerates a torn
+  final record — the classic crash-mid-append artifact — by dropping
+  it with a warning and truncating the file back to its valid prefix;
+  anything else (mid-file corruption, a schema-version mismatch, a
+  header or cell-hash mismatch) is rejected hard with
+  :class:`~repro.errors.CheckpointError`, because silently resuming
+  the wrong campaign is worse than not resuming at all.
+* :class:`SupervisedExecutor` — a campaign executor with per-cell
+  wall-clock timeouts (SIGALRM in the executing process, so a wedged
+  cell cannot stall the run), bounded retry with the same
+  capped-exponential-backoff curve the control loop uses
+  (:mod:`repro.core.backoff`), and quarantine: a cell that exhausts
+  its attempts is set aside and the run *completes*, with the
+  coverage (cells total / completed / quarantined) reported instead
+  of an abort. SIGINT/SIGTERM drain in-flight cells, flush the
+  journal, shut the pool down, and surface
+  :class:`CampaignInterrupted` so the CLI can print the resume
+  command.
+
+Determinism contract: a run that is hard-killed and resumed from its
+journal produces scorecards, traces, and merged telemetry
+byte-identical to an uninterrupted run — cells are keyed canonically,
+journal payloads round-trip losslessly through JSON, and telemetry
+snapshots are folded in canonical cell order regardless of which cells
+were resumed and which ran live.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
+
+from repro.core.backoff import capped_backoff, invalid_backoff_reason
+from repro.errors import CheckpointError, FaultInjectionError
+from repro.faults.campaigns import (
+    CampaignCellSpec,
+    CampaignExecutor,
+    CampaignGenerator,
+    CampaignRunner,
+    CellKey,
+    SasoScorecard,
+    _cell_label,
+    run_campaign_cell,
+)
+from repro.telemetry.audit import AuditSummary
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    active_registry,
+    metering,
+)
+from repro.telemetry.tracer import active_tracer
+
+#: Journal schema version. Bump on any change to the record layout;
+#: resume rejects journals written by a different version.
+CHECKPOINT_VERSION = 1
+
+#: A cell body: spec in, scorecard out. Injectable on the supervisor so
+#: tests can exercise retry/timeout/quarantine with controlled bodies;
+#: must be a module-level callable (it crosses process boundaries).
+CellRunner = Callable[[CampaignCellSpec], SasoScorecard]
+
+
+# ----------------------------------------------------------------------
+# Scorecard (de)serialization — lossless JSON round-trip
+# ----------------------------------------------------------------------
+
+def scorecard_to_payload(card: SasoScorecard) -> Dict[str, object]:
+    """A :class:`SasoScorecard` as a JSON-ready dict.
+
+    Floats survive a JSON round-trip exactly (shortest-repr encoding),
+    so ``scorecard_from_payload(scorecard_to_payload(c)) == c`` holds
+    byte for byte — the property the resume-equivalence gate rests on.
+    """
+    audit: Optional[Dict[str, object]] = None
+    if card.audit is not None:
+        audit = {
+            "invocations": card.audit.invocations,
+            "proposals": card.audit.proposals,
+            "rescales": card.audit.rescales,
+            "failed_rescales": card.audit.failed_rescales,
+            "holds": card.audit.holds,
+            "skips": [list(pair) for pair in card.audit.skips],
+            "degraded_intervals": card.audit.degraded_intervals,
+            "max_rate_compensation": card.audit.max_rate_compensation,
+        }
+    return {
+        "controller": card.controller,
+        "campaign": card.campaign,
+        "schedule_seed": card.schedule_seed,
+        "oscillations": card.oscillations,
+        "steady_state_error": card.steady_state_error,
+        "settling_epochs": card.settling_epochs,
+        "overshoot_ratio": card.overshoot_ratio,
+        "downtime_fraction": card.downtime_fraction,
+        "recovery_seconds": card.recovery_seconds,
+        "scaling_actions": card.scaling_actions,
+        "failed_rescales": card.failed_rescales,
+        "audit": audit,
+    }
+
+
+def scorecard_from_payload(
+    payload: Mapping[str, object],
+) -> SasoScorecard:
+    """Rebuild a :class:`SasoScorecard` from its journal payload."""
+    try:
+        raw_audit = payload.get("audit")
+        audit: Optional[AuditSummary] = None
+        if raw_audit is not None:
+            if not isinstance(raw_audit, Mapping):
+                raise TypeError("audit is not a mapping")
+            audit = AuditSummary(
+                invocations=int(raw_audit["invocations"]),  # type: ignore[call-overload]
+                proposals=int(raw_audit["proposals"]),  # type: ignore[call-overload]
+                rescales=int(raw_audit["rescales"]),  # type: ignore[call-overload]
+                failed_rescales=int(raw_audit["failed_rescales"]),  # type: ignore[call-overload]
+                holds=int(raw_audit["holds"]),  # type: ignore[call-overload]
+                skips=tuple(
+                    (str(reason), int(count))
+                    for reason, count in raw_audit["skips"]  # type: ignore[union-attr]
+                ),
+                degraded_intervals=int(raw_audit["degraded_intervals"]),  # type: ignore[call-overload]
+                max_rate_compensation=float(
+                    raw_audit["max_rate_compensation"]  # type: ignore[arg-type]
+                ),
+            )
+        return SasoScorecard(
+            controller=str(payload["controller"]),
+            campaign=int(payload["campaign"]),  # type: ignore[call-overload]
+            schedule_seed=int(payload["schedule_seed"]),  # type: ignore[call-overload]
+            oscillations=int(payload["oscillations"]),  # type: ignore[call-overload]
+            steady_state_error=float(payload["steady_state_error"]),  # type: ignore[arg-type]
+            settling_epochs=int(payload["settling_epochs"]),  # type: ignore[call-overload]
+            overshoot_ratio=float(payload["overshoot_ratio"]),  # type: ignore[arg-type]
+            downtime_fraction=float(payload["downtime_fraction"]),  # type: ignore[arg-type]
+            recovery_seconds=float(payload["recovery_seconds"]),  # type: ignore[arg-type]
+            scaling_actions=int(payload["scaling_actions"]),  # type: ignore[call-overload]
+            failed_rescales=int(payload["failed_rescales"]),  # type: ignore[call-overload]
+            audit=audit,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"malformed scorecard payload: {error}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Fingerprints — what makes a journal record trustworthy
+# ----------------------------------------------------------------------
+
+def cell_fingerprint(spec: CampaignCellSpec) -> str:
+    """Content hash of everything that determines a cell's scorecard.
+
+    Two specs with the same fingerprint run the same simulation: same
+    fault schedule (event for event), graph shape, runtime, starting
+    configuration, policy cadence, and engine config. Resume compares
+    the journal's recorded hash against the regenerated spec's, so a
+    checkpoint can never silently graft results from a different
+    campaign configuration (e.g. a different ``--scale`` tick) onto
+    this run.
+    """
+    graph = spec.graph
+    doc: Dict[str, object] = {
+        "seed": spec.seed,
+        "campaign": spec.campaign,
+        "controller": spec.controller,
+        "profile": spec.profile,
+        "policy_interval": repr(spec.policy_interval),
+        "duration": repr(spec.duration),
+        "tail_seconds": repr(spec.tail_seconds),
+        "initial_parallelism": sorted(
+            spec.initial_parallelism.items()
+        ),
+        "scored_parallelism": sorted(spec.scored_parallelism.items()),
+        "target_rates": sorted(
+            (name, repr(rate))
+            for name, rate in spec.target_rates.items()
+        ),
+        "schedule_seed": spec.schedule.seed,
+        "events": [repr(event) for event in spec.schedule.events],
+        "graph_names": list(graph.names),
+        "graph_edges": [repr(edge) for edge in graph.edges],
+        "runtime": type(spec.runtime).__name__,
+        "engine_config": repr(spec.engine_config),
+        "scalable_operators": (
+            list(spec.scalable_operators)
+            if spec.scalable_operators is not None
+            else None
+        ),
+    }
+    blob = json.dumps(doc, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class JournalHeader:
+    """First record of a journal: which run this checkpoint belongs to.
+
+    Resume requires an exact match on every field — a checkpoint from
+    a different profile, workload, master seed, campaign count, or
+    controller roster cannot complete this run.
+    """
+
+    profile: str
+    workload: str
+    seed: int
+    campaigns: int
+    controllers: Tuple[str, ...]
+    version: int = CHECKPOINT_VERSION
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "record": "header",
+            "version": self.version,
+            "profile": self.profile,
+            "workload": self.workload,
+            "seed": self.seed,
+            "campaigns": self.campaigns,
+            "controllers": list(self.controllers),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Mapping[str, object]
+    ) -> "JournalHeader":
+        try:
+            controllers = payload["controllers"]
+            if not isinstance(controllers, list):
+                raise TypeError("controllers is not a list")
+            return cls(
+                profile=str(payload["profile"]),
+                workload=str(payload["workload"]),
+                seed=int(payload["seed"]),  # type: ignore[call-overload]
+                campaigns=int(payload["campaigns"]),  # type: ignore[call-overload]
+                controllers=tuple(str(c) for c in controllers),
+                version=int(payload["version"]),  # type: ignore[call-overload]
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"malformed checkpoint header: {error}"
+            ) from None
+
+
+# ----------------------------------------------------------------------
+# The journal
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JournalCell:
+    """One completed cell as recovered from a journal."""
+
+    key: CellKey
+    spec_hash: str
+    scorecard: SasoScorecard
+    telemetry: Dict[str, object]
+
+
+def _parse_cell_key(raw: object) -> CellKey:
+    if (
+        not isinstance(raw, list)
+        or len(raw) != 3
+        or not isinstance(raw[2], str)
+    ):
+        raise CheckpointError(f"malformed cell key {raw!r}")
+    try:
+        return (int(raw[0]), int(raw[1]), raw[2])
+    except (TypeError, ValueError):
+        raise CheckpointError(f"malformed cell key {raw!r}") from None
+
+
+def _parse_cell_record(payload: Mapping[str, object]) -> JournalCell:
+    key = _parse_cell_key(payload.get("key"))
+    spec_hash = payload.get("spec_hash")
+    if not isinstance(spec_hash, str) or not spec_hash:
+        raise CheckpointError(
+            f"cell {_cell_label(key)} has no spec hash"
+        )
+    scorecard = payload.get("scorecard")
+    if not isinstance(scorecard, Mapping):
+        raise CheckpointError(
+            f"cell {_cell_label(key)} has no scorecard payload"
+        )
+    telemetry = payload.get("telemetry")
+    if not isinstance(telemetry, dict):
+        telemetry = {"metrics": []}
+    return JournalCell(
+        key=key,
+        spec_hash=spec_hash,
+        scorecard=scorecard_from_payload(scorecard),
+        telemetry=telemetry,
+    )
+
+
+class CheckpointJournal:
+    """Durable append-only JSONL journal of completed campaign cells.
+
+    Line 1 is the header record; every further line is one completed
+    (``record: cell``) or quarantined (``record: quarantine``) cell.
+    Each append is flushed and fsynced before :meth:`record_cell`
+    returns, so a record is either durably on disk or (torn by a
+    crash mid-write) recoverably absent — never half-trusted.
+
+    Use :meth:`open` — it routes between *fresh* (path must not hold an
+    existing journal) and *resume* (path must; header must match).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        header: JournalHeader,
+        *,
+        cells: Optional[Dict[CellKey, JournalCell]] = None,
+        warnings: Optional[List[str]] = None,
+        _header_on_disk: bool = False,
+    ) -> None:
+        self._path = path
+        self._header = header
+        self._cells: Dict[CellKey, JournalCell] = dict(cells or {})
+        self._warnings: List[str] = list(warnings or [])
+        self._header_on_disk = _header_on_disk
+        self._file: Optional[TextIO] = None
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, path: str, header: JournalHeader, *, resume: bool = False
+    ) -> "CheckpointJournal":
+        """Open a journal for this run.
+
+        Fresh (``resume=False``): ``path`` must not already hold a
+        journal (an existing non-empty file is refused — delete it or
+        pass ``resume``). Resume (``resume=True``): ``path`` must hold
+        a journal whose header matches ``header`` exactly; completed
+        cells are recovered into :attr:`completed`. A torn final
+        record is dropped with a warning and the file truncated back
+        to its valid prefix.
+        """
+        exists = os.path.exists(path)
+        non_empty = exists and os.path.getsize(path) > 0
+        if not resume:
+            if non_empty:
+                raise CheckpointError(
+                    f"checkpoint {path!r} already exists; resume it "
+                    f"with --resume or delete it to start fresh"
+                )
+            journal = cls(path, header)
+            # Write the header eagerly: a run killed before its first
+            # cell completes still leaves a resumable journal.
+            journal._ensure_open()
+            return journal
+        if not exists:
+            raise CheckpointError(
+                f"cannot resume: no checkpoint at {path!r}"
+            )
+        if not non_empty:
+            # A run killed before its first cell completed leaves an
+            # empty file (the header is written lazily with the first
+            # record): nothing to recover, but resume should succeed.
+            return cls(
+                path,
+                header,
+                warnings=[
+                    f"checkpoint {path!r} is empty; starting fresh"
+                ],
+            )
+        stored, cells, valid_lines, warnings = cls._load(path)
+        cls._check_header(stored, header, path)
+        if warnings:
+            # The torn tail has no trailing newline; appending to it
+            # would concatenate records. Rewrite the valid prefix.
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("".join(line + "\n" for line in valid_lines))
+                handle.flush()
+                os.fsync(handle.fileno())
+        return cls(
+            path,
+            header,
+            cells=cells,
+            warnings=warnings,
+            _header_on_disk=True,
+        )
+
+    @staticmethod
+    def _check_header(
+        stored: JournalHeader, expected: JournalHeader, path: str
+    ) -> None:
+        if stored.version != expected.version:
+            raise CheckpointError(
+                f"checkpoint {path!r} has schema version "
+                f"{stored.version}, this build writes version "
+                f"{expected.version}"
+            )
+        for field_name in (
+            "profile", "workload", "seed", "campaigns", "controllers",
+        ):
+            recorded = getattr(stored, field_name)
+            wanted = getattr(expected, field_name)
+            if recorded != wanted:
+                raise CheckpointError(
+                    f"checkpoint {path!r} was written for "
+                    f"{field_name}={recorded!r}, this run uses "
+                    f"{field_name}={wanted!r}"
+                )
+
+    @staticmethod
+    def _load(
+        path: str,
+    ) -> Tuple[
+        JournalHeader,
+        Dict[CellKey, JournalCell],
+        List[str],
+        List[str],
+    ]:
+        """Parse a journal file.
+
+        Returns ``(header, cells, valid_lines, warnings)``. The final
+        non-empty line is allowed to be torn (unparseable JSON): it is
+        dropped with a warning. Any earlier unparseable line, and any
+        line that parses but violates the schema, is mid-file
+        corruption and raises :class:`CheckpointError`.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw_lines = handle.read().split("\n")
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {path!r}: {error}"
+            ) from None
+        lines = [
+            (number, line)
+            for number, line in enumerate(raw_lines, start=1)
+            if line.strip()
+        ]
+        if not lines:
+            raise CheckpointError(f"checkpoint {path!r} is empty")
+        warnings: List[str] = []
+        parsed: List[Tuple[int, str, Dict[str, object]]] = []
+        last_position = len(lines) - 1
+        for position, (number, line) in enumerate(lines):
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                if position == last_position:
+                    warnings.append(
+                        f"dropped torn final record at line {number} "
+                        f"of {path!r} (crash mid-append)"
+                    )
+                    continue
+                raise CheckpointError(
+                    f"checkpoint {path!r} is corrupt at line "
+                    f"{number}: unparseable record"
+                ) from None
+            if not isinstance(payload, dict):
+                raise CheckpointError(
+                    f"checkpoint {path!r} is corrupt at line "
+                    f"{number}: record is not an object"
+                )
+            parsed.append((number, line, payload))
+        if not parsed:
+            raise CheckpointError(
+                f"checkpoint {path!r} holds no intact records"
+            )
+        first_number, _, first = parsed[0]
+        if first.get("record") != "header":
+            raise CheckpointError(
+                f"checkpoint {path!r} does not start with a header "
+                f"record (line {first_number})"
+            )
+        version = first.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path!r} has schema version {version!r}, "
+                f"this build writes version {CHECKPOINT_VERSION}"
+            )
+        header = JournalHeader.from_payload(first)
+        cells: Dict[CellKey, JournalCell] = {}
+        valid_lines = [parsed[0][1]]
+        for number, line, payload in parsed[1:]:
+            kind = payload.get("record")
+            if kind == "cell":
+                try:
+                    cell = _parse_cell_record(payload)
+                except CheckpointError as error:
+                    raise CheckpointError(
+                        f"checkpoint {path!r} is corrupt at line "
+                        f"{number}: {error}"
+                    ) from None
+                cells[cell.key] = cell
+            elif kind == "quarantine":
+                # Informational: a quarantined cell gets a fresh
+                # retry budget on resume rather than being skipped.
+                _parse_cell_key(payload.get("key"))
+            else:
+                raise CheckpointError(
+                    f"checkpoint {path!r} is corrupt at line "
+                    f"{number}: unknown record kind {kind!r}"
+                )
+            valid_lines.append(line)
+        return header, cells, valid_lines, warnings
+
+    # -- properties -----------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def header(self) -> JournalHeader:
+        return self._header
+
+    @property
+    def completed(self) -> Mapping[CellKey, JournalCell]:
+        """Cells recovered from disk plus those recorded this run."""
+        return self._cells
+
+    @property
+    def warnings(self) -> List[str]:
+        """Recovery notes (torn-tail drops) from loading this journal."""
+        return list(self._warnings)
+
+    # -- appends --------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._file is None:
+            try:
+                self._file = open(self._path, "a", encoding="utf-8")
+            except OSError as error:
+                raise CheckpointError(
+                    f"cannot write checkpoint {self._path!r}: {error}"
+                ) from None
+            if not self._header_on_disk:
+                self._header_on_disk = True
+                self._write_line(self._header.to_payload())
+
+    def _append(self, payload: Mapping[str, object]) -> None:
+        self._ensure_open()
+        self._write_line(payload)
+
+    def _write_line(self, payload: Mapping[str, object]) -> None:
+        handle = self._file
+        assert handle is not None
+        # No sort_keys: telemetry snapshots key histogram buckets by
+        # their numeric bounds rendered as strings, and sorting those
+        # lexicographically would scramble the bucket order the merge
+        # validates. Payload dicts are built in deterministic order.
+        handle.write(json.dumps(payload) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def record_cell(
+        self,
+        spec: CampaignCellSpec,
+        scorecard: SasoScorecard,
+        telemetry: Dict[str, object],
+    ) -> None:
+        """Durably append one completed cell (fsynced before return)."""
+        self._append({
+            "record": "cell",
+            "key": list(spec.key),
+            "spec_hash": cell_fingerprint(spec),
+            "scorecard": scorecard_to_payload(scorecard),
+            "telemetry": telemetry,
+        })
+        self._cells[spec.key] = JournalCell(
+            key=spec.key,
+            spec_hash=cell_fingerprint(spec),
+            scorecard=scorecard,
+            telemetry=telemetry,
+        )
+
+    def record_quarantine(
+        self, spec: CampaignCellSpec, attempts: int, error: str
+    ) -> None:
+        """Append a quarantine note (informational; not resumed past)."""
+        self._append({
+            "record": "quarantine",
+            "key": list(spec.key),
+            "spec_hash": cell_fingerprint(spec),
+            "attempts": attempts,
+            "error": error,
+        })
+
+    def match(
+        self, specs: Sequence[CampaignCellSpec]
+    ) -> Dict[int, JournalCell]:
+        """Map spec indices to their recovered journal cells.
+
+        Every journaled cell must belong to this batch (same key *and*
+        same content hash); a journal holding foreign or stale cells
+        is rejected rather than partially trusted.
+        """
+        by_key: Dict[CellKey, Tuple[int, CampaignCellSpec]] = {
+            spec.key: (index, spec)
+            for index, spec in enumerate(specs)
+        }
+        matched: Dict[int, JournalCell] = {}
+        for key, cell in self._cells.items():
+            located = by_key.get(key)
+            if located is None:
+                raise CheckpointError(
+                    f"checkpoint {self._path!r} holds cell "
+                    f"{_cell_label(key)} which is not part of this "
+                    f"run"
+                )
+            index, spec = located
+            fingerprint = cell_fingerprint(spec)
+            if cell.spec_hash != fingerprint:
+                raise CheckpointError(
+                    f"checkpoint cell {_cell_label(key)} was recorded "
+                    f"under a different campaign configuration (hash "
+                    f"{cell.spec_hash} != {fingerprint}); rerun with "
+                    f"the original settings or delete "
+                    f"{self._path!r}"
+                )
+            matched[index] = cell
+        return matched
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Supervision: retry, quarantine, timeouts, graceful interrupts
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellRetryPolicy:
+    """Bounded retry for campaign cells (capped exponential backoff).
+
+    Same curve as the control loop's
+    :class:`~repro.core.controller.RetryConfig`, in wall seconds: the
+    first retry waits ``initial_backoff_seconds``, each further retry
+    multiplies by ``backoff_base``, capped at ``max_backoff_seconds``.
+    After ``max_attempts`` total attempts the cell is quarantined.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 2.0
+    initial_backoff_seconds: float = 0.25
+    max_backoff_seconds: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultInjectionError("max_attempts must be >= 1")
+        reason = invalid_backoff_reason(
+            base=self.backoff_base,
+            initial=self.initial_backoff_seconds,
+            cap=self.max_backoff_seconds,
+            base_name="backoff_base",
+            initial_name="initial_backoff_seconds",
+            cap_name="max_backoff_seconds",
+        )
+        if reason is not None:
+            raise FaultInjectionError(reason)
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise FaultInjectionError("attempt must be >= 1")
+        return capped_backoff(
+            attempt,
+            base=self.backoff_base,
+            initial=self.initial_backoff_seconds,
+            cap=self.max_backoff_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class QuarantinedCell:
+    """A cell that exhausted its retry budget."""
+
+    key: CellKey
+    attempts: int
+    error: str
+    traceback: str = ""
+
+
+@dataclass(frozen=True)
+class CampaignCoverage:
+    """Exactly which cells of a supervised run produced scorecards."""
+
+    cells: int
+    completed: int
+    quarantined: int
+    quarantined_cells: Tuple[QuarantinedCell, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return self.quarantined == 0 and self.completed == self.cells
+
+
+@dataclass(frozen=True)
+class SupervisedOutcome:
+    """Everything a supervised batch produced.
+
+    ``scorecards`` holds the completed cells in canonical order
+    (quarantined cells are absent); ``by_index`` maps each completed
+    spec index to its scorecard; ``resumed`` counts cells recovered
+    from the journal rather than run live.
+    """
+
+    scorecards: List[SasoScorecard]
+    by_index: Dict[int, SasoScorecard]
+    coverage: CampaignCoverage
+    resumed: int
+
+
+class CampaignInterrupted(Exception):
+    """A supervised campaign was stopped by SIGINT/SIGTERM.
+
+    In-flight cells were drained and journaled; ``completed``/``cells``
+    say how far the run got, ``path`` names the journal to resume from
+    (``None`` when the run had no checkpoint).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        completed: int,
+        cells: int,
+        path: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.completed = completed
+        self.cells = cells
+        self.path = path
+
+
+class _CellTimeout(Exception):
+    """Raised inside a cell when its SIGALRM deadline fires."""
+
+
+def _raise_cell_timeout(signum: int, frame: object) -> None:
+    raise _CellTimeout()
+
+
+@contextmanager
+def _cell_alarm(timeout: Optional[float]) -> Iterator[None]:
+    """Arm a per-cell wall-clock deadline via SIGALRM.
+
+    Works in the executing process's main thread (both the in-process
+    serial path and process-pool workers qualify); elsewhere, or on
+    platforms without SIGALRM, the deadline is simply not enforced.
+    """
+    usable = (
+        timeout is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+    assert timeout is not None
+    previous = signal.signal(signal.SIGALRM, _raise_cell_timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@contextmanager
+def _terminate_as_interrupt() -> Iterator[None]:
+    """Map SIGTERM onto KeyboardInterrupt for the enclosed block.
+
+    A supervisor killed softly (``kill PID``) then drains and flushes
+    exactly like one stopped with Ctrl-C. Signal handlers are a
+    main-thread-only facility; elsewhere the block runs unchanged.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt()
+
+    previous = signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+@dataclass(frozen=True)
+class _AttemptSuccess:
+    index: int
+    scorecard: SasoScorecard
+    telemetry: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class _AttemptFailure:
+    index: int
+    key: CellKey
+    error: str
+    traceback: str
+    timed_out: bool = False
+
+
+_AttemptOutcome = Union[_AttemptSuccess, _AttemptFailure]
+
+
+def supervised_cell_attempt(
+    index: int,
+    spec: CampaignCellSpec,
+    runner: CellRunner = run_campaign_cell,
+    timeout: Optional[float] = None,
+) -> _AttemptOutcome:
+    """Run one cell attempt: fresh registry, deadline, structured error.
+
+    Module-level and picklable — this is the body both the in-process
+    serial path and pool workers execute. Failures are *returned*
+    (with the traceback formatted where it still exists), never
+    raised, so an attempt can be retried or quarantined by policy.
+    KeyboardInterrupt is deliberately not caught: interrupts belong to
+    the supervisor, not the retry loop.
+    """
+    registry = MetricsRegistry()
+    try:
+        with _cell_alarm(timeout), metering(registry):
+            card = runner(spec)
+    except _CellTimeout:
+        deadline = timeout if timeout is not None else 0.0
+        return _AttemptFailure(
+            index=index,
+            key=spec.key,
+            error=f"cell exceeded its {deadline:g}s timeout",
+            traceback="",
+            timed_out=True,
+        )
+    except Exception as error:  # noqa: BLE001 — judged by the policy
+        return _AttemptFailure(
+            index=index,
+            key=spec.key,
+            error=f"{type(error).__name__}: {error}",
+            traceback=traceback.format_exc(),
+        )
+    return _AttemptSuccess(
+        index=index, scorecard=card, telemetry=registry.snapshot()
+    )
+
+
+class SupervisedExecutor(CampaignExecutor):
+    """Retry, quarantine, checkpoint, and drain around campaign cells.
+
+    Runs cells in-process (``jobs=1``) or on a process pool, attempting
+    each cell up to ``retry.max_attempts`` times with capped
+    exponential backoff between rounds, and quarantining cells that
+    exhaust the budget instead of aborting the batch. With a
+    ``journal``, every completed cell is fsynced to disk the moment it
+    finishes and cells already in the journal are not re-run.
+
+    ``cell_timeout`` bounds one attempt's wall clock (enforced by
+    SIGALRM inside the executing process); ``pool_timeout`` is the
+    deadlock guard on waiting for the *next* finished cell.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        retry: Optional[CellRetryPolicy] = None,
+        cell_timeout: Optional[float] = None,
+        journal: Optional[CheckpointJournal] = None,
+        runner: CellRunner = run_campaign_cell,
+        sleep: Callable[[float], None] = time.sleep,
+        pool_timeout: Optional[float] = None,
+    ) -> None:
+        if int(jobs) < 1:
+            raise FaultInjectionError(
+                f"supervised executor needs jobs >= 1, got {jobs}"
+            )
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise FaultInjectionError(
+                f"cell_timeout must be > 0, got {cell_timeout}"
+            )
+        self._jobs = int(jobs)
+        self._retry = retry if retry is not None else CellRetryPolicy()
+        self._cell_timeout = cell_timeout
+        self._journal = journal
+        self._runner = runner
+        self._sleep = sleep
+        self._pool_timeout = pool_timeout
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    @property
+    def retry(self) -> CellRetryPolicy:
+        return self._retry
+
+    @property
+    def journal(self) -> Optional[CheckpointJournal]:
+        return self._journal
+
+    # -- the CampaignExecutor contract ---------------------------------
+
+    def run_cells(
+        self, specs: Sequence[CampaignCellSpec]
+    ) -> List[SasoScorecard]:
+        """Strict-contract entry point: quarantine becomes an error.
+
+        Callers that want a partial batch plus coverage (the chaos
+        experiment does) should call :meth:`execute` instead.
+        """
+        outcome = self.execute(specs)
+        if outcome.coverage.quarantined:
+            labels = ", ".join(
+                _cell_label(cell.key)
+                for cell in outcome.coverage.quarantined_cells
+            )
+            raise FaultInjectionError(
+                f"{outcome.coverage.quarantined} campaign cell(s) "
+                f"exhausted their retry budget: {labels}"
+            )
+        return outcome.scorecards
+
+    # -- supervised execution ------------------------------------------
+
+    def execute(
+        self, specs: Sequence[CampaignCellSpec]
+    ) -> SupervisedOutcome:
+        """Run the batch to completion, quarantining poison cells."""
+        specs = list(specs)
+        cards: Dict[int, SasoScorecard] = {}
+        snapshots: Dict[int, Dict[str, object]] = {}
+        resumed = 0
+        if self._journal is not None:
+            for index, cell in self._journal.match(specs).items():
+                cards[index] = cell.scorecard
+                snapshots[index] = cell.telemetry
+                resumed += 1
+        pending: List[int] = [
+            index
+            for index in range(len(specs))
+            if index not in cards
+        ]
+        failures: Dict[int, _AttemptFailure] = {}
+
+        def absorb(outcome: _AttemptOutcome) -> None:
+            if isinstance(outcome, _AttemptSuccess):
+                spec = specs[outcome.index]
+                if self._journal is not None:
+                    self._journal.record_cell(
+                        spec, outcome.scorecard, outcome.telemetry
+                    )
+                cards[outcome.index] = outcome.scorecard
+                snapshots[outcome.index] = outcome.telemetry
+                failures.pop(outcome.index, None)
+            else:
+                failures[outcome.index] = outcome
+
+        quarantined: List[QuarantinedCell] = []
+        try:
+            with _terminate_as_interrupt():
+                attempt = 1
+                while pending and attempt <= self._retry.max_attempts:
+                    if self._jobs == 1 or len(pending) == 1:
+                        self._run_round_serial(specs, pending, absorb)
+                    else:
+                        self._run_round_pool(specs, pending, absorb)
+                    pending = sorted(failures)
+                    if (
+                        pending
+                        and attempt < self._retry.max_attempts
+                    ):
+                        self._sleep(
+                            self._retry.backoff_seconds(attempt)
+                        )
+                    attempt += 1
+            for index in sorted(failures):
+                failure = failures[index]
+                spec = specs[index]
+                if self._journal is not None:
+                    self._journal.record_quarantine(
+                        spec,
+                        attempts=self._retry.max_attempts,
+                        error=failure.error,
+                    )
+                quarantined.append(
+                    QuarantinedCell(
+                        key=spec.key,
+                        attempts=self._retry.max_attempts,
+                        error=failure.error,
+                        traceback=failure.traceback,
+                    )
+                )
+        except KeyboardInterrupt:
+            path = (
+                self._journal.path
+                if self._journal is not None
+                else None
+            )
+            raise CampaignInterrupted(
+                f"campaign interrupted after {len(cards)} of "
+                f"{len(specs)} cells"
+                + (
+                    f"; completed cells are checkpointed in {path!r}"
+                    if path is not None
+                    else " (no checkpoint: completed cells are lost)"
+                ),
+                completed=len(cards),
+                cells=len(specs),
+                path=path,
+            ) from None
+        # Canonical-order fold: resumed and live cells merge their
+        # telemetry identically, so a resumed run's registry is
+        # byte-identical to an uninterrupted one.
+        ambient = active_registry()
+        if ambient.enabled:
+            for index in sorted(snapshots):
+                ambient.merge_snapshot(snapshots[index])
+        coverage = CampaignCoverage(
+            cells=len(specs),
+            completed=len(cards),
+            quarantined=len(quarantined),
+            quarantined_cells=tuple(quarantined),
+        )
+        return SupervisedOutcome(
+            scorecards=[cards[i] for i in sorted(cards)],
+            by_index=cards,
+            coverage=coverage,
+            resumed=resumed,
+        )
+
+    # -- one retry round ------------------------------------------------
+
+    def _run_round_serial(
+        self,
+        specs: Sequence[CampaignCellSpec],
+        pending: Sequence[int],
+        absorb: Callable[[_AttemptOutcome], None],
+    ) -> None:
+        for index in pending:
+            absorb(
+                supervised_cell_attempt(
+                    index,
+                    specs[index],
+                    self._runner,
+                    self._cell_timeout,
+                )
+            )
+
+    def _run_round_pool(
+        self,
+        specs: Sequence[CampaignCellSpec],
+        pending: Sequence[int],
+        absorb: Callable[[_AttemptOutcome], None],
+    ) -> None:
+        workers = min(self._jobs, len(pending))
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers
+        )
+        interrupted = False
+        try:
+            futures = {
+                pool.submit(
+                    supervised_cell_attempt,
+                    index,
+                    specs[index],
+                    self._runner,
+                    self._cell_timeout,
+                ): index
+                for index in pending
+            }
+            try:
+                for future in concurrent.futures.as_completed(
+                    futures, timeout=self._pool_timeout
+                ):
+                    index = futures[future]
+                    try:
+                        absorb(future.result())
+                    except Exception as error:
+                        # Hard worker deaths (BrokenProcessPool) and
+                        # unpicklable runners: a failed attempt, not
+                        # an aborted batch.
+                        absorb(
+                            _AttemptFailure(
+                                index=index,
+                                key=specs[index].key,
+                                error=(
+                                    f"worker died: "
+                                    f"{type(error).__name__}: {error}"
+                                ),
+                                traceback="",
+                            )
+                        )
+            except concurrent.futures.TimeoutError:
+                waiting = ", ".join(
+                    sorted(
+                        _cell_label(specs[index].key)
+                        for future, index in futures.items()
+                        if not future.done()
+                    )
+                )
+                raise FaultInjectionError(
+                    f"campaign cells still pending after "
+                    f"{self._pool_timeout}s: {waiting}"
+                ) from None
+            except KeyboardInterrupt:
+                # Graceful drain: stop feeding the pool, let cells
+                # already on a worker finish, journal them, then stop.
+                interrupted = True
+                pool.shutdown(wait=False, cancel_futures=True)
+                started = [
+                    future
+                    for future in futures
+                    if not future.cancelled()
+                ]
+                drained, _ = concurrent.futures.wait(
+                    started, timeout=self._drain_grace()
+                )
+                for future in drained:
+                    try:
+                        outcome = future.result()
+                    except Exception:
+                        continue
+                    if isinstance(outcome, _AttemptSuccess):
+                        absorb(outcome)
+                raise
+        finally:
+            # On the interrupt path the pool was already asked to stop
+            # and stragglers got a bounded drain; waiting again here
+            # could block indefinitely on a wedged cell.
+            pool.shutdown(wait=not interrupted, cancel_futures=True)
+
+    def _drain_grace(self) -> float:
+        """Seconds to wait for in-flight cells on interrupt."""
+        if self._cell_timeout is not None:
+            return self._cell_timeout + 5.0
+        if self._pool_timeout is not None:
+            return self._pool_timeout
+        return 60.0
+
+
+# ----------------------------------------------------------------------
+# Campaign-level driver (the supervised analogue of CampaignRunner.run)
+# ----------------------------------------------------------------------
+
+def run_supervised_campaign(
+    runner: CampaignRunner,
+    generator: CampaignGenerator,
+    campaigns: Union[int, Sequence[int]],
+    executor: SupervisedExecutor,
+) -> SupervisedOutcome:
+    """Run a campaign batch under supervision, with coverage.
+
+    Mirrors :meth:`CampaignRunner.run` — same canonical cell order,
+    same cell-granularity trace with a cumulative virtual-time axis —
+    but completes with quarantined cells annotated instead of aborting,
+    and resumes from the executor's journal when one is attached.
+    Trace emission walks specs in canonical order after execution, so
+    a resumed run's trace is byte-identical to an uninterrupted one.
+    """
+    specs = runner.cell_specs(generator, campaigns)
+    duration = generator.profile.duration
+    profile = generator.profile.name
+    total = len(specs)
+    tracer = active_tracer()
+    cells_metric = active_registry().counter(
+        "repro_campaign_cells_total",
+        "Campaign cells (campaign x controller) completed.",
+    )
+    if tracer.enabled:
+        tracer.emit(
+            "campaign.start",
+            0.0,
+            profile=profile,
+            seed=generator.seed,
+            campaigns=(
+                campaigns
+                if isinstance(campaigns, int)
+                else len(list(campaigns))
+            ),
+            controllers=sorted(
+                {spec.controller for spec in specs}
+            ),
+            cells=total,
+        )
+    outcome = executor.execute(specs)
+    quarantined_keys = {
+        cell.key: cell
+        for cell in outcome.coverage.quarantined_cells
+    }
+    for position, spec in enumerate(specs, start=1):
+        index = position - 1
+        card = outcome.by_index.get(index)
+        if card is not None:
+            cells_metric.inc(
+                profile=profile, controller=spec.controller
+            )
+            if tracer.enabled:
+                tracer.emit(
+                    "campaign.cell",
+                    position * duration,
+                    profile=profile,
+                    campaign=spec.campaign,
+                    controller=spec.controller,
+                    completed=position,
+                    cells=total,
+                    score=round(card.score, 6),
+                    failed_rescales=card.failed_rescales,
+                )
+        elif tracer.enabled:
+            quarantine = quarantined_keys.get(spec.key)
+            tracer.emit(
+                "campaign.quarantine",
+                position * duration,
+                profile=profile,
+                campaign=spec.campaign,
+                controller=spec.controller,
+                cells=total,
+                error=(
+                    quarantine.error if quarantine is not None else ""
+                ),
+            )
+    if tracer.enabled:
+        tracer.emit(
+            "campaign.end",
+            total * duration,
+            profile=profile,
+            cells=total,
+        )
+    return outcome
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CampaignCoverage",
+    "CampaignInterrupted",
+    "CellRetryPolicy",
+    "CheckpointJournal",
+    "JournalCell",
+    "JournalHeader",
+    "QuarantinedCell",
+    "SupervisedExecutor",
+    "SupervisedOutcome",
+    "cell_fingerprint",
+    "run_supervised_campaign",
+    "scorecard_from_payload",
+    "scorecard_to_payload",
+    "supervised_cell_attempt",
+]

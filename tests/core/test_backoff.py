@@ -1,0 +1,69 @@
+"""The shared capped-exponential-backoff helper.
+
+Both retry layers (controller ``RetryConfig`` in policy intervals,
+campaign ``CellRetryPolicy`` in wall seconds) delegate here; the curve
+and the validation vocabulary are pinned so neither can drift.
+"""
+
+import pytest
+
+from repro.core.backoff import capped_backoff, invalid_backoff_reason
+
+
+class TestCappedBackoff:
+    def test_doubles_from_initial_until_the_cap(self):
+        waits = [
+            capped_backoff(n, base=2.0, initial=0.25, cap=4.0)
+            for n in range(1, 8)
+        ]
+        assert waits == [0.25, 0.5, 1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_base_one_is_constant(self):
+        assert all(
+            capped_backoff(n, base=1.0, initial=3.0, cap=10.0) == 3.0
+            for n in range(1, 5)
+        )
+
+    def test_cap_below_initial_curve_applies_immediately(self):
+        assert capped_backoff(1, base=2.0, initial=5.0, cap=2.0) == 2.0
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="attempt must be >= 1"):
+            capped_backoff(0, base=2.0, initial=1.0, cap=2.0)
+
+
+class TestInvalidBackoffReason:
+    def test_valid_triple_has_no_reason(self):
+        assert (
+            invalid_backoff_reason(base=2.0, initial=0.25, cap=4.0)
+            is None
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs, expected",
+        [
+            (
+                {"base": 0.9, "initial": 1.0, "cap": 2.0},
+                "backoff_base must be >= 1",
+            ),
+            (
+                {"base": 2.0, "initial": 0.0, "cap": 2.0},
+                "initial_backoff must be > 0",
+            ),
+            (
+                {"base": 2.0, "initial": 3.0, "cap": 2.0},
+                "max_backoff must be >= initial_backoff",
+            ),
+        ],
+    )
+    def test_each_violation_is_named(self, kwargs, expected):
+        assert invalid_backoff_reason(**kwargs) == expected
+
+    def test_vocabulary_is_injectable(self):
+        reason = invalid_backoff_reason(
+            base=0.5,
+            initial=1.0,
+            cap=2.0,
+            base_name="growth",
+        )
+        assert reason == "growth must be >= 1"

@@ -116,6 +116,74 @@ class TestParser:
         assert "nexmark-q5" in err
 
 
+class TestCheckpointCli:
+    def test_checkpoint_arguments_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "run", "chaos",
+            "--checkpoint", "chaos.ckpt",
+            "--resume",
+        ])
+        assert args.checkpoint == "chaos.ckpt"
+        assert args.resume is True
+
+    def test_checkpoint_rejected_for_other_experiments(self, capsys):
+        assert main([
+            "run", "fig6", "--checkpoint", "chaos.ckpt",
+        ]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["run", "chaos", "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "--resume requires --checkpoint" in err
+
+    def test_resume_of_missing_journal_rejected(self, capsys, tmp_path):
+        missing = tmp_path / "nope.ckpt"
+        assert main([
+            "run", "chaos", "--checkpoint", str(missing), "--resume",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unusable checkpoint" in err
+        assert "cannot resume" in err
+
+    def test_corrupt_journal_rejected(self, capsys, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text('{"record": "header"}\nnot json\n{"x": 1}\n')
+        assert main([
+            "run", "chaos", "--checkpoint", str(path), "--resume",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unusable checkpoint" in err
+
+    def test_fresh_run_refuses_existing_journal(self, capsys, tmp_path):
+        path = tmp_path / "old.ckpt"
+        path.write_text('{"record": "header"}\n')
+        assert main([
+            "run", "chaos", "--checkpoint", str(path),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unusable checkpoint" in err
+        assert "--resume" in err
+
+    @pytest.mark.slow
+    def test_checkpointed_run_then_resume_is_identical(
+        self, capsys, tmp_path
+    ):
+        path = str(tmp_path / "chaos.ckpt")
+        argv = [
+            "run", "chaos", "--profile", "smoke", "--seeds", "2",
+            "--scale", "0.5", "--checkpoint", path,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Coverage: 6/6 cells completed, 0 quarantined" in first
+        # Resuming a finished journal re-runs nothing and reprints
+        # the identical report.
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestLintCommand:
     def test_clean_file_exits_zero(self, capsys):
         assert main(["lint", str(FIXTURES / "clean.py")]) == 0
