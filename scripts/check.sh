@@ -18,6 +18,11 @@
 #                    - hard-killed chaos run resumed from its journal
 #                      must match an uninterrupted run byte-for-byte
 #   8. pytest        - tier-1 test suite
+#   9. pytest (REPRO_ENGINE=vector)
+#                    - the same tier-1 suite on the struct-of-arrays
+#                      engine backend; passing both proves the golden
+#                      trace / scorecard byte-identity oracle holds for
+#                      both backends (skipped if numpy is missing)
 #
 # ruff and mypy are optional dev dependencies (`pip install -e .[lint]`).
 # When they are missing the stage is skipped with a notice rather than
@@ -92,8 +97,19 @@ run_stage "kill-and-resume equivalence (smoke)" \
 
 if [ "$FAST" -eq 1 ]; then
     skip_stage "pytest" "--fast"
+    skip_stage "pytest (REPRO_ENGINE=vector)" "--fast"
 else
     run_stage "pytest" python -m pytest -x -q
+    # The decision oracle for the vector engine backend: the whole
+    # tier-1 suite — including the golden trace and chaos scorecard
+    # byte-identity tests — must pass with the struct-of-arrays
+    # engine selected for every Simulator.
+    if python -c "import numpy" >/dev/null 2>&1; then
+        run_stage "pytest (REPRO_ENGINE=vector)" \
+            env REPRO_ENGINE=vector python -m pytest -x -q
+    else
+        skip_stage "pytest (REPRO_ENGINE=vector)" "numpy not installed"
+    fi
 fi
 
 if [ "$FAILURES" -ne 0 ]; then

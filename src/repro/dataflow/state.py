@@ -13,7 +13,7 @@ savepoint model converts total state bytes into an outage duration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Iterable, Mapping
 
 from repro.dataflow.graph import LogicalGraph
 from repro.errors import EngineError
@@ -47,6 +47,31 @@ class StateModel:
             return
         grown = self._bytes[operator] + records * spec.state_bytes_per_record
         self._bytes[operator] = min(grown, self.max_state_bytes)
+
+    def record_processed_block(
+        self, operator: str, records: Iterable[float]
+    ) -> None:
+        """Accumulate state for a batch of per-instance record counts.
+
+        Bit-identical to calling :meth:`record_processed` once per value
+        in order — the same left-to-right ``min(grown, cap)`` sequence —
+        with the operator spec looked up once instead of per call. Used
+        by the vectorized engine backend, one call per operator per tick.
+        """
+        spec = self.graph.operator(operator)
+        per_record = spec.state_bytes_per_record
+        if per_record <= 0:
+            for value in records:
+                if value < 0:
+                    raise EngineError("records must be >= 0")
+            return
+        total = self._bytes[operator]
+        cap = self.max_state_bytes
+        for value in records:
+            if value < 0:
+                raise EngineError("records must be >= 0")
+            total = min(total + value * per_record, cap)
+        self._bytes[operator] = total
 
     def state_bytes(self, operator: str) -> float:
         """Current state size of ``operator`` in bytes."""

@@ -20,17 +20,32 @@ robustness signals in every window:
   replaced mid-window (redeploy, crash recovery), which silently
   discards the in-flight counters of the old instances and makes the
   window under-count activity.
+
+Storage is struct-of-arrays: one ``(n, 5)`` float64 accumulator with a
+row per registered instance and columns ``[pulled, pushed, useful,
+waiting, observed]``. The row order is the registration order —
+:meth:`~repro.dataflow.physical.PhysicalPlan.all_instances`, i.e.
+topological operator order with instance indexes ascending — so each
+operator owns one contiguous row block and the vectorized engine backend
+can accumulate a whole operator per tick with :meth:`record_block`. The
+scalar :meth:`record` API is unchanged and works on row views, and a
+pure-Python list-of-rows fallback keeps the manager usable without
+numpy.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Iterable, List, Mapping, Optional, Set
+from typing import Any, Dict, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.dataflow.physical import InstanceId
+from repro.engine.npcompat import HAVE_NUMPY, FloatArray, np
 from repro.errors import MetricsError
 from repro.metrics import InstanceCounters, MetricsWindow, OperatorHealth
 from repro.telemetry.tracer import Tracer, active_tracer
+
+# Accumulator columns.
+_PULLED, _PUSHED, _USEFUL, _WAITING, _OBSERVED = range(5)
 
 
 class MetricsManager:
@@ -45,13 +60,23 @@ class MetricsManager:
         self._window_start = start_time
         self._now = start_time
         self._outage_time = 0.0
-        # Per-instance accumulators:
-        # [pulled, pushed, useful, waiting, observed]
-        self._acc: Dict[InstanceId, List[float]] = {}
+        # Struct-of-arrays accumulator: row per instance, columns
+        # [pulled, pushed, useful, waiting, observed]. An (n, 5)
+        # float64 ndarray when numpy is available, else a list of
+        # per-row float lists with the same indexing.
+        self._ids: Tuple[InstanceId, ...] = ()
+        self._index: Dict[InstanceId, int] = {}
+        self._acc: Any = self._zeros(0)
         # Instances whose reports are currently withheld (dropout).
         self._suppressed: Set[InstanceId] = set()
         # Whether in-flight counters were discarded this window.
         self._truncated = False
+
+    @staticmethod
+    def _zeros(rows: int) -> Any:
+        if HAVE_NUMPY:
+            return np.zeros((rows, 5), dtype=np.float64)
+        return [[0.0, 0.0, 0.0, 0.0, 0.0] for _ in range(rows)]
 
     @property
     def window_start(self) -> float:
@@ -66,6 +91,20 @@ class MetricsManager:
         """Instances currently withholding their reports."""
         return set(self._suppressed)
 
+    @property
+    def registered(self) -> Tuple[InstanceId, ...]:
+        """Registered instances in row (registration) order."""
+        return self._ids
+
+    def row_of(self, instance: InstanceId) -> int:
+        """Accumulator row index of a registered instance."""
+        try:
+            return self._index[instance]
+        except KeyError:
+            raise MetricsError(
+                f"unregistered instance {instance}"
+            ) from None
+
     def register_instances(self, instances: Iterable[InstanceId]) -> None:
         """Replace the reporting instance set (called on deploy and on
         every redeploy — counters restart for the new instances).
@@ -75,19 +114,28 @@ class MetricsManager:
         flagged as truncated — warm-up logic must not mistake it for a
         full observation.
         """
-        if self._acc and any(acc[4] > 0 for acc in self._acc.values()):
+        if len(self._ids) and self._any_observed():
             self._truncated = True
-        self._acc = {iid: [0.0, 0.0, 0.0, 0.0, 0.0] for iid in instances}
+        self._ids = tuple(instances)
+        self._index = {iid: row for row, iid in enumerate(self._ids)}
+        if len(self._index) != len(self._ids):
+            raise MetricsError("duplicate instances in registration")
+        self._acc = self._zeros(len(self._ids))
         # Suppressions name instances of the previous deployment; the
         # injector (or caller) re-applies them against the new set.
         self._suppressed.clear()
+
+    def _any_observed(self) -> bool:
+        if HAVE_NUMPY:
+            return bool((self._acc[:, _OBSERVED] > 0).any())
+        return any(row[_OBSERVED] > 0 for row in self._acc)
 
     def set_suppressed(self, instances: Iterable[InstanceId]) -> None:
         """Mark instances whose reports are withheld from collections
         (metric dropout). Their counters keep accumulating locally and
         are delivered in the first window after suppression lifts."""
         suppressed = set(instances)
-        unknown = suppressed - set(self._acc)
+        unknown = suppressed - set(self._index)
         if unknown:
             raise MetricsError(
                 f"cannot suppress unregistered instances {sorted(unknown)}"
@@ -103,15 +151,53 @@ class MetricsManager:
         waiting: float,
     ) -> None:
         """Accumulate one tick's activity for an instance."""
-        if instance not in self._acc:
+        if instance not in self._index:
             raise MetricsError(f"unregistered instance {instance}")
         if min(pulled, pushed, useful, waiting) < 0:
             raise MetricsError("counters must be >= 0")
-        acc = self._acc[instance]
-        acc[0] += pulled
-        acc[1] += pushed
-        acc[2] += useful
-        acc[3] += waiting
+        acc = self._acc[self._index[instance]]
+        acc[_PULLED] += pulled
+        acc[_PUSHED] += pushed
+        acc[_USEFUL] += useful
+        acc[_WAITING] += waiting
+
+    def record_block(
+        self,
+        start: int,
+        stop: int,
+        pulled: FloatArray,
+        pushed: FloatArray,
+        useful: FloatArray,
+        waiting: FloatArray,
+    ) -> None:
+        """Accumulate one tick's activity for the contiguous row block
+        ``[start, stop)`` — the batched :meth:`record` used by the
+        vectorized engine backend, one call per operator per tick.
+
+        Each array holds one value per instance of the block, in row
+        order. Because float64 element-wise addition is exact (IEEE),
+        the accumulated totals are bit-identical to ``stop - start``
+        scalar :meth:`record` calls.
+        """
+        if not HAVE_NUMPY:
+            raise MetricsError("record_block requires numpy")
+        if not 0 <= start <= stop <= len(self._ids):
+            raise MetricsError(
+                f"row block [{start}, {stop}) outside the registered "
+                f"set of {len(self._ids)} instances"
+            )
+        if (
+            float(pulled.min(initial=0.0)) < 0
+            or float(pushed.min(initial=0.0)) < 0
+            or float(useful.min(initial=0.0)) < 0
+            or float(waiting.min(initial=0.0)) < 0
+        ):
+            raise MetricsError("counters must be >= 0")
+        block = self._acc[start:stop]
+        block[:, _PULLED] += pulled
+        block[:, _PUSHED] += pushed
+        block[:, _USEFUL] += useful
+        block[:, _WAITING] += waiting
 
     def advance(self, dt: float, outage: bool = False) -> None:
         """Advance observed time by one tick for every instance."""
@@ -120,15 +206,18 @@ class MetricsManager:
         self._now += dt
         if outage:
             self._outage_time += dt
-        for acc in self._acc.values():
-            acc[4] += dt
+        if HAVE_NUMPY:
+            self._acc[:, _OBSERVED] += dt
+        else:
+            for row in self._acc:
+                row[_OBSERVED] += dt
 
     def completeness(self) -> Dict[str, float]:
         """Fraction of registered instances currently reporting, per
         operator (1.0 everywhere while nothing is suppressed)."""
         registered: Dict[str, int] = {}
         reporting: Dict[str, int] = {}
-        for iid in self._acc:
+        for iid in self._ids:
             registered[iid.operator] = registered.get(iid.operator, 0) + 1
             if iid not in self._suppressed:
                 reporting[iid.operator] = reporting.get(iid.operator, 0) + 1
@@ -136,6 +225,34 @@ class MetricsManager:
             name: reporting.get(name, 0) / count
             for name, count in registered.items()
         }
+
+    def utilization(self, operator: str) -> float:
+        """Useful-time fraction of ``operator`` over the counters
+        accumulated since the last collection: the summed useful time of
+        its reporting instances divided by their summed observed time
+        (0.0 before any time has been observed).
+
+        This is the live view of the quantity DS2's model consumes per
+        window — surfaced mid-window so chaos campaigns and dashboards
+        can watch saturation build without forcing a collection.
+        """
+        useful = 0.0
+        observed = 0.0
+        known = False
+        for row_index, iid in enumerate(self._ids):
+            if iid.operator != operator:
+                continue
+            known = True
+            if iid in self._suppressed:
+                continue
+            row = self._acc[row_index]
+            useful += float(row[_USEFUL])
+            observed += float(row[_OBSERVED])
+        if not known:
+            raise MetricsError(f"unregistered operator {operator!r}")
+        if observed <= 0:
+            return 0.0
+        return min(1.0, useful / observed)
 
     def collect(
         self,
@@ -152,10 +269,14 @@ class MetricsManager:
         """
         duration = self._now - self._window_start
         instances: Dict[InstanceId, InstanceCounters] = {}
-        for iid, acc in self._acc.items():
+        for row_index, iid in enumerate(self._ids):
             if iid in self._suppressed:
                 continue
-            pulled, pushed, useful, waiting, observed = acc
+            row = self._acc[row_index]
+            if HAVE_NUMPY:
+                pulled, pushed, useful, waiting, observed = row.tolist()
+            else:
+                pulled, pushed, useful, waiting, observed = row
             # Clamp float accumulation drift so that Wu <= W holds.
             useful = min(useful, observed)
             instances[iid] = InstanceCounters(
@@ -167,7 +288,7 @@ class MetricsManager:
             )
         completeness = self.completeness()
         registered_parallelism: Dict[str, int] = {}
-        for iid in self._acc:
+        for iid in self._ids:
             registered_parallelism[iid.operator] = (
                 registered_parallelism.get(iid.operator, 0) + 1
             )
@@ -208,10 +329,12 @@ class MetricsManager:
         self._window_start = self._now
         self._outage_time = 0.0
         self._truncated = False
-        for iid, acc in self._acc.items():
+        for row_index, iid in enumerate(self._ids):
             if iid in self._suppressed:
                 continue
-            acc[0] = acc[1] = acc[2] = acc[3] = acc[4] = 0.0
+            row = self._acc[row_index]
+            row[_PULLED] = row[_PUSHED] = 0.0
+            row[_USEFUL] = row[_WAITING] = row[_OBSERVED] = 0.0
         return window
 
 

@@ -1,0 +1,33 @@
+"""Optional numpy gate for the struct-of-arrays engine backend.
+
+The repository's core has no third-party dependencies; numpy is an
+*accelerator*, not a requirement. Modules that can exploit it import
+``np``/``HAVE_NUMPY`` from here and fall back to pure-Python paths when
+numpy is absent. The ``vector`` engine backend (see
+:mod:`repro.engine.vectorized`) refuses to construct without numpy; the
+default ``object`` backend never needs it.
+
+``np`` is typed ``Any`` on purpose: the annotation budget of the strict
+mypy islands should not depend on whether numpy (and its stubs) are
+installed in the environment running the type check.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+np: Any
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _numpy
+
+    np = _numpy
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy-less containers only
+    np = None
+    HAVE_NUMPY = False
+
+#: Loose alias for ``numpy.ndarray`` values in annotations. Kept ``Any``
+#: so the strict-mypy islands type-check without numpy stubs installed.
+FloatArray = Any
+
+__all__ = ["FloatArray", "HAVE_NUMPY", "np"]

@@ -19,11 +19,12 @@ operator instances and moves data:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.dataflow.operators import OperatorSpec
 from repro.dataflow.physical import InstanceId, PhysicalPlan
 from repro.dataflow.state import SavepointModel
+from repro.engine.npcompat import HAVE_NUMPY, FloatArray, np
 from repro.engine.recovery import (
     ContainerRestartRecovery,
     PeerSyncRecovery,
@@ -75,6 +76,40 @@ class Runtime(abc.ABC):
         available (queued records times per-record cost); runtimes with
         shared workers use it to divide worker time.
         """
+
+    def budgets_batch(
+        self,
+        plan: PhysicalPlan,
+        demands: Mapping[str, FloatArray],
+        dt: float,
+    ) -> Dict[str, FloatArray]:
+        """Batched :meth:`budgets`: per-operator demand arrays in, one
+        float64 budget array per operator out (index = instance index).
+
+        The struct-of-arrays engine backend calls this instead of the
+        per-:class:`InstanceId` API so the hot path never materializes
+        instance-id dictionaries. The default implementation adapts
+        through :meth:`budgets`, so custom runtimes stay compatible;
+        the built-in runtimes override it with a genuinely batched
+        computation that is bit-identical to the scalar one.
+        """
+        if not HAVE_NUMPY:
+            raise EngineError("budgets_batch requires numpy")
+        iid_demands: Dict[InstanceId, float] = {}
+        for name in plan.graph.topological_order():
+            for index, value in enumerate(demands[name].tolist()):
+                iid_demands[InstanceId(name, index)] = value
+        budgets = self.budgets(plan, iid_demands, dt)
+        return {
+            name: np.array(
+                [
+                    budgets.get(InstanceId(name, index), dt)
+                    for index in range(plan.parallelism_of(name))
+                ],
+                dtype=np.float64,
+            )
+            for name in plan.graph.topological_order()
+        }
 
     @abc.abstractmethod
     def savepoint_model(self) -> SavepointModel:
@@ -152,6 +187,26 @@ class FlinkRuntime(Runtime):
         if self.cores is not None and len(instances) > self.cores:
             share = self.cores / len(instances)
         return {iid: dt * share for iid in instances}
+
+    def budgets_batch(
+        self,
+        plan: PhysicalPlan,
+        demands: Mapping[str, FloatArray],
+        dt: float,
+    ) -> Dict[str, FloatArray]:
+        if not HAVE_NUMPY:
+            raise EngineError("budgets_batch requires numpy")
+        total = plan.total_instances
+        share = 1.0
+        if self.cores is not None and total > self.cores:
+            share = self.cores / total
+        value = dt * share
+        return {
+            name: np.full(
+                plan.parallelism_of(name), value, dtype=np.float64
+            )
+            for name in plan.graph.topological_order()
+        }
 
     def savepoint_model(self) -> SavepointModel:
         return self._savepoint
@@ -264,14 +319,41 @@ class TimelyRuntime(Runtime):
     ) -> Dict[InstanceId, float]:
         workers = self.validate_plan(plan)
         budgets: Dict[InstanceId, float] = {}
+        all_instances = plan.all_instances()
         for worker in range(workers):
             local = [
-                iid for iid in plan.all_instances() if iid.index == worker
+                iid for iid in all_instances if iid.index == worker
             ]
             budgets.update(
                 _waterfill(local, demands, dt)
             )
         return budgets
+
+    def budgets_batch(
+        self,
+        plan: PhysicalPlan,
+        demands: Mapping[str, FloatArray],
+        dt: float,
+    ) -> Dict[str, FloatArray]:
+        if not HAVE_NUMPY:
+            raise EngineError("budgets_batch requires numpy")
+        workers = self.validate_plan(plan)
+        order = plan.graph.topological_order()
+        demand_lists = {name: demands[name].tolist() for name in order}
+        out = {
+            name: np.empty(workers, dtype=np.float64) for name in order
+        }
+        # Worker k runs instance k of every operator; the per-worker
+        # demand vector in topological operator order is exactly the
+        # iteration order of the per-InstanceId implementation, so the
+        # shared scalar core produces bit-identical allocations.
+        for worker in range(workers):
+            allocation = _waterfill_values(
+                [demand_lists[name][worker] for name in order], dt
+            )
+            for position, name in enumerate(order):
+                out[name][worker] = allocation[position]
+        return out
 
     def savepoint_model(self) -> SavepointModel:
         return self._savepoint
@@ -280,50 +362,74 @@ class TimelyRuntime(Runtime):
         return self._recovery
 
 
+def _waterfill_values(
+    demands: List[float], budget: float
+) -> List[float]:
+    """Positional water-filling core shared by the per-:class:`InstanceId`
+    and batched budget paths.
+
+    Divides ``budget`` seconds among positions proportionally to need:
+    everyone gets at most an equal share per round, and unused share is
+    redistributed to positions that still have pending work. Leftover
+    budget once every demand is satisfied is spread evenly (spinning
+    shows up as waiting time on every instance).
+
+    Degenerate inputs are explicit no-ops rather than accidents: with no
+    positions the result is empty (no division by a zero-length instance
+    list), and with an empty *active* set — every demand zero or
+    negative — the whole budget goes out as the even spin bonus.
+    """
+    if not demands:
+        return []
+    remaining = budget
+    allocation = [0.0] * len(demands)
+    unsatisfied = [max(0.0, demand) for demand in demands]
+    active = [
+        index for index, want in enumerate(unsatisfied) if want > 0
+    ]
+    # Iterative water-filling; terminates because every round either
+    # satisfies at least one position or exhausts the budget.
+    while active and remaining > 1e-12:
+        share = remaining / len(active)
+        next_active = []
+        for index in active:
+            grant = min(share, unsatisfied[index])
+            allocation[index] += grant
+            unsatisfied[index] -= grant
+            remaining -= grant
+            if unsatisfied[index] > 1e-12:
+                next_active.append(index)
+        if len(next_active) == len(active):
+            # Everyone took a full share and still wants more: the
+            # budget is exhausted evenly; avoid infinite loops due to
+            # floating point residue.
+            share = remaining / len(active)
+            for index in active:
+                allocation[index] += share
+            remaining = 0.0
+            break
+        active = next_active
+    if remaining > 1e-12:
+        # Leftover time is spent spinning; spread it evenly so that
+        # spinning shows up as waiting time on every instance.
+        bonus = remaining / len(demands)
+        for index in range(len(demands)):
+            allocation[index] += bonus
+    return allocation
+
+
 def _waterfill(
     instances: list,
     demands: Mapping[InstanceId, float],
     budget: float,
 ) -> Dict[InstanceId, float]:
     """Divide ``budget`` seconds among ``instances`` proportionally to
-    need: everyone gets at most an equal share, and unused share is
-    redistributed to instances that still have pending work.
-    """
-    remaining = budget
-    allocation = {iid: 0.0 for iid in instances}
-    unsatisfied = {
-        iid: max(0.0, demands.get(iid, 0.0)) for iid in instances
-    }
-    active = [iid for iid in instances if unsatisfied[iid] > 0]
-    # Iterative water-filling; terminates because every round either
-    # satisfies at least one instance or exhausts the budget.
-    while active and remaining > 1e-12:
-        share = remaining / len(active)
-        next_active = []
-        for iid in active:
-            grant = min(share, unsatisfied[iid])
-            allocation[iid] += grant
-            unsatisfied[iid] -= grant
-            remaining -= grant
-            if unsatisfied[iid] > 1e-12:
-                next_active.append(iid)
-        if len(next_active) == len(active):
-            # Everyone took a full share and still wants more: the
-            # budget is exhausted evenly; avoid infinite loops due to
-            # floating point residue.
-            share = remaining / len(active)
-            for iid in active:
-                allocation[iid] += share
-            remaining = 0.0
-            break
-        active = next_active
-    if remaining > 1e-12 and instances:
-        # Leftover time is spent spinning; spread it evenly so that
-        # spinning shows up as waiting time on every instance.
-        bonus = remaining / len(instances)
-        for iid in instances:
-            allocation[iid] += bonus
-    return allocation
+    need (see :func:`_waterfill_values` for the algorithm and its
+    edge-case contract)."""
+    values = _waterfill_values(
+        [demands.get(iid, 0.0) for iid in instances], budget
+    )
+    return {iid: values[pos] for pos, iid in enumerate(instances)}
 
 
 __all__ = ["FlinkRuntime", "HeronRuntime", "Runtime", "TimelyRuntime"]

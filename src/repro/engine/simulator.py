@@ -45,6 +45,7 @@ from repro.engine.latency import (
 )
 from repro.engine.metrics_manager import MetricsManager
 from repro.engine.runtimes import Runtime
+from repro.engine.vectorized import VectorEngine, resolve_backend
 from repro.errors import EngineError, ReconfigurationError
 from repro.metrics import MetricsWindow, OperatorHealth
 from repro.telemetry.registry import (
@@ -187,11 +188,19 @@ class Simulator:
         config: Optional[EngineConfig] = None,
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """``tracer``/``registry`` default to the ambient ones (see
         :func:`repro.telemetry.tracing` /
         :func:`repro.telemetry.metering`) — no-ops unless a caller
-        activated telemetry."""
+        activated telemetry.
+
+        ``backend`` selects the tick-loop implementation: ``"object"``
+        (per-instance Python objects, the default) or ``"vector"``
+        (struct-of-arrays numpy hot path, bit-identical decisions —
+        see :mod:`repro.engine.vectorized`). When omitted, the
+        ``REPRO_ENGINE`` environment variable decides, defaulting to
+        ``object``."""
         self._plan = plan
         self._graph: LogicalGraph = plan.graph
         # Fail before the first tick, with every problem reported at
@@ -242,7 +251,11 @@ class Simulator:
             "Virtual seconds spent in crash recovery",
         ).labels(runtime=runtime_label)
         self._state = StateModel(graph=self._graph)
-        self._instances: Dict[str, List[_Instance]] = {}
+        self._backend = resolve_backend(backend)
+        self._vec: Optional[VectorEngine] = (
+            VectorEngine(self) if self._backend == "vector" else None
+        )
+        self._obj_instances: Dict[str, List[_Instance]] = {}
         self._source_backlog: Dict[str, float] = {
             name: 0.0 for name in self._graph.sources()
         }
@@ -361,6 +374,24 @@ class Simulator:
     def state_model(self) -> StateModel:
         return self._state
 
+    @property
+    def backend(self) -> str:
+        """The active tick-loop backend, ``"object"`` or ``"vector"``."""
+        return self._backend
+
+    @property
+    def _instances(self) -> Dict[str, List[_Instance]]:
+        """Per-operator instance objects.
+
+        Under the object backend this is the live simulation state;
+        under the vector backend it is a read-only materialization of
+        the struct-of-arrays state (mutations do not flow back). Kept
+        for tests and debugging tools that inspect per-port queues.
+        """
+        if self._vec is not None:
+            return self._vec.materialize_instances()
+        return self._obj_instances
+
     def source_target_rates(self) -> Dict[str, float]:
         """Target (schedule) rate of each source at the current time —
         the externally monitored source rates DS2 uses as λ_src."""
@@ -381,24 +412,60 @@ class Simulator:
 
     def total_queued_records(self) -> float:
         """Records queued anywhere inside the dataflow."""
+        if self._vec is not None:
+            return self._vec.total_queued()
         return sum(
             inst.pending_records
-            for instances in self._instances.values()
+            for instances in self._obj_instances.values()
             for inst in instances
         )
 
     def queue_length(self, operator: str) -> float:
         """Total records queued at an operator (all instances)."""
-        if operator not in self._instances:
+        if self._vec is not None:
+            if not self._vec.has_operator(operator):
+                raise EngineError(f"unknown operator {operator!r}")
+            return self._vec.queue_length(operator)
+        if operator not in self._obj_instances:
             raise EngineError(f"unknown operator {operator!r}")
-        return sum(i.pending_records for i in self._instances[operator])
+        return sum(
+            i.pending_records for i in self._obj_instances[operator]
+        )
+
+    def pending_records(self, operator: Optional[str] = None) -> float:
+        """Records pending inside the dataflow: queued at the ports
+        plus window buffers and fire backlogs. With ``operator`` the
+        aggregation covers that operator's instances; without it, the
+        whole dataflow (``total_queued_records``)."""
+        if operator is None:
+            return self.total_queued_records()
+        return self.queue_length(operator)
+
+    def max_fill_fraction(self, operator: str) -> float:
+        """Worst input-buffer occupancy across the operator's
+        instances, in [0, 1] (0 for unbounded or portless queues)."""
+        if self._vec is not None:
+            if not self._vec.has_operator(operator):
+                raise EngineError(f"unknown operator {operator!r}")
+            return self._vec.max_fill(operator)
+        if operator not in self._obj_instances:
+            raise EngineError(f"unknown operator {operator!r}")
+        instances = self._obj_instances[operator]
+        return max(inst.max_fill_fraction for inst in instances)
+
+    def utilization(self, operator: str) -> float:
+        """Useful-time fraction of the operator since the last metrics
+        collection (see :meth:`MetricsManager.utilization`)."""
+        return self._metrics.utilization(operator)
 
     def backpressured_operators(self) -> Tuple[str, ...]:
         """Operators whose queues crossed the runtime's backpressure
         threshold (the coarse signal Dhalion-style controllers use)."""
+        if self._vec is not None:
+            return self._vec.backpressured()
         result: List[str] = []
         threshold = self._runtime.backpressure_threshold
-        for name, instances in self._instances.items():
+        for name, instances in self._obj_instances.items():
             if any(
                 queue.bounded and queue.fill_fraction >= threshold
                 for inst in instances
@@ -420,17 +487,16 @@ class Simulator:
             source_rates[name] = emitted / duration if duration > 0 else 0.0
         health: Dict[str, OperatorHealth] = {}
         backpressured = set(self.backpressured_operators())
-        for name, instances in self._instances.items():
-            fills = [inst.max_fill_fraction for inst in instances]
+        for name in self._graph.topological_order():
             bp_fraction = (
                 min(1.0, self._window_bp_seconds[name] / duration)
                 if duration > 0
                 else 0.0
             )
             health[name] = OperatorHealth(
-                queue_fill=max(fills) if fills else 0.0,
+                queue_fill=self.max_fill_fraction(name),
                 backpressure=name in backpressured,
-                pending_records=sum(i.pending_records for i in instances),
+                pending_records=self.queue_length(name),
                 backpressure_fraction=bp_fraction,
             )
         window = self._metrics.collect(
@@ -567,13 +633,13 @@ class Simulator:
         flight, the crash extends its outage and the pending plan still
         applies at the end. Returns the recovery outage in seconds.
         """
-        instances = self._instances.get(operator)
-        if instances is None:
+        if operator not in self._plan.parallelism:
             raise EngineError(f"unknown operator {operator!r}")
-        if not 0 <= index < len(instances):
+        parallelism = self._plan.parallelism_of(operator)
+        if not 0 <= index < parallelism:
             raise EngineError(
                 f"unknown instance {operator!r} index {index} "
-                f"(parallelism {len(instances)})"
+                f"(parallelism {parallelism})"
             )
         outage = self._runtime.recovery_model().outage_seconds(
             self._state.snapshot(), self._plan.parallelism, operator
@@ -600,9 +666,14 @@ class Simulator:
     def _deploy(self, plan: PhysicalPlan) -> None:
         """(Re)build instance state for ``plan``, preserving in-flight
         records and window buffers from the previous deployment."""
+        if self._vec is not None:
+            self._vec.deploy(plan)
+            self._plan = plan
+            self._metrics.register_instances(plan.all_instances())
+            return
         carried_ports: Dict[str, Dict[str, float]] = {}
         carried_window: Dict[str, Tuple[float, float]] = {}
-        for name, instances in self._instances.items():
+        for name, instances in self._obj_instances.items():
             per_port: Dict[str, float] = {}
             for inst in instances:
                 for port, queue in inst.ports.items():
@@ -613,7 +684,7 @@ class Simulator:
             )
             backlog = sum(i.fire_backlog for i in instances)
             carried_window[name] = (buffered, backlog)
-        self._instances = {}
+        self._obj_instances = {}
         for name in self._graph.topological_order():
             spec = self._graph.operator(name)
             parallelism = plan.parallelism_of(name)
@@ -641,7 +712,7 @@ class Simulator:
                     )
                 instance.fire_backlog = backlog * weights[index]
                 instances.append(instance)
-            self._instances[name] = instances
+            self._obj_instances[name] = instances
         self._plan = plan
         self._metrics.register_instances(plan.all_instances())
 
@@ -769,8 +840,15 @@ class Simulator:
     def _active_tick(self, dt: float) -> TickStats:
         order = self._graph.topological_order()
         self._refresh_jitter()
-        multiplier_demands = self._estimate_demands(dt)
-        budgets = self._runtime.budgets(self._plan, multiplier_demands, dt)
+        vec = self._vec
+        if vec is None:
+            budgets = self._runtime.budgets(
+                self._plan, self._estimate_demands(dt), dt
+            )
+        else:
+            batch_budgets = self._runtime.budgets_batch(
+                self._plan, vec.estimate_demands(dt), dt
+            )
         source_emitted: Dict[str, float] = {}
         source_desired: Dict[str, float] = {}
         sink_consumed: Dict[str, float] = {
@@ -779,18 +857,36 @@ class Simulator:
         end_time = self._time + dt
         for name in reversed(order):
             spec = self._graph.operator(name)
-            instances = self._instances[name]
             if spec.is_source:
-                emitted, desired = self._run_source(
-                    name, spec, instances, budgets, dt
-                )
+                if vec is None:
+                    emitted, desired = self._run_source(
+                        name,
+                        spec,
+                        self._obj_instances[name],
+                        budgets,
+                        dt,
+                    )
+                else:
+                    emitted, desired = vec.run_source(
+                        name, spec, batch_budgets[name], dt
+                    )
                 source_emitted[name] = emitted
                 source_desired[name] = desired
                 self._window_source_emitted[name] += emitted
             else:
-                consumed = self._run_operator(
-                    name, spec, instances, budgets, dt, end_time
-                )
+                if vec is None:
+                    consumed = self._run_operator(
+                        name,
+                        spec,
+                        self._obj_instances[name],
+                        budgets,
+                        dt,
+                        end_time,
+                    )
+                else:
+                    consumed = vec.run_operator(
+                        name, spec, batch_budgets[name], dt, end_time
+                    )
                 if spec.is_sink:
                     sink_consumed[name] = consumed
         self._observe_latency(dt, source_emitted, sink_consumed)
@@ -817,7 +913,7 @@ class Simulator:
         """Seconds of pending work per instance (for shared-worker
         budget allocation)."""
         demands: Dict[InstanceId, float] = {}
-        for name, instances in self._instances.items():
+        for name, instances in self._obj_instances.items():
             spec = self._graph.operator(name)
             parallelism = len(instances)
             if spec.is_source:
@@ -856,7 +952,9 @@ class Simulator:
             weights = weights_cache.setdefault(
                 downstream, self._plan.input_weights(downstream)
             )
-            for inst, weight in zip(self._instances[downstream], weights):
+            for inst, weight in zip(
+                self._obj_instances[downstream], weights
+            ):
                 if weight <= 0:
                     continue
                 limit = min(
@@ -878,7 +976,9 @@ class Simulator:
             weights = weights_cache.setdefault(
                 downstream, self._plan.input_weights(downstream)
             )
-            for inst, weight in zip(self._instances[downstream], weights):
+            for inst, weight in zip(
+                self._obj_instances[downstream], weights
+            ):
                 if weight <= 0:
                     continue
                 accepted = inst.ports[name].push(records * weight)
@@ -1078,8 +1178,20 @@ class Simulator:
         sink_consumed: Mapping[str, float],
     ) -> None:
         if self._record_latency is not None:
+            if self._vec is not None:
+                self._record_latency.observe_tick(
+                    operator_delays=self._vec.operator_delays(),
+                    sink_consumed=sink_consumed,
+                )
+                if self._epoch_latency is not None:
+                    self._epoch_latency.observe_tick(
+                        now=self._time + dt,
+                        source_emitted=source_emitted,
+                        sink_consumed=sink_consumed,
+                    )
+                return
             delays: Dict[str, float] = {}
-            for name, instances in self._instances.items():
+            for name, instances in self._obj_instances.items():
                 spec = self._graph.operator(name)
                 parallelism = len(instances)
                 if spec.is_source:
@@ -1117,7 +1229,10 @@ class Simulator:
             )
 
     def _check_invariants(self) -> None:
-        for instances in self._instances.values():
+        if self._vec is not None:
+            self._vec.check_invariants()
+            return
+        for instances in self._obj_instances.values():
             for inst in instances:
                 for queue in inst.ports.values():
                     queue.check_conservation()

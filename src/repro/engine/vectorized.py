@@ -1,0 +1,787 @@
+"""Struct-of-arrays engine backend (the ``vector`` engine).
+
+The default ``object`` backend of :class:`~repro.engine.simulator.
+Simulator` steps one Python object per operator instance: a dict of
+:class:`~repro.engine.buffers.Queue` per port, a scalar fire backlog,
+and per-instance loops for routing, budget allocation, and metrics. That
+is O(upstream x downstream) Queue pushes per edge per tick — the binding
+constraint on wide deployments (the Nexmark queries run up to 36 slots).
+
+This module holds the same simulation as flat float64 numpy arrays, one
+block per operator:
+
+* ``q_len``, ``q_pushed``, ``q_popped`` — shape ``(K, p)`` for an
+  operator with ``K`` input ports (one per upstream edge) and ``p``
+  instances. Column ``j`` of row ``k`` is instance ``j``'s port queue
+  for upstream ``k``: its current length and the cumulative pushed /
+  popped conservation counters of :class:`~repro.engine.buffers.Queue`.
+* ``fire_backlog`` — shape ``(p,)``, windowed operators' released but
+  unprocessed records.
+* ``weights`` — shape ``(p,)``, the plan's input-partitioning weights
+  for the operator (how upstream output is split across its instances).
+
+Window state (:class:`~repro.dataflow.windowing.WindowState`) is held
+as ``win_buffered`` — shape ``(p,)``, per-instance buffered records —
+plus one shared fire clock (``win_next_fire`` / ``win_last_check``)
+per operator: every instance of a window operator is created, reset,
+and fired with the same spec and the same virtual times, so the scalar
+clocks advance in bit-identical lockstep and only ``buffered`` varies
+per instance. :meth:`VectorEngine.materialize_instances` rebuilds real
+``WindowState`` objects from these arrays on demand.
+
+**Equivalence contract.** The vector backend must produce *bit-identical*
+decisions, metrics, traces, and scorecards to the object backend. Every
+array operation below is chosen to replay the scalar float64 operations
+of the object backend exactly:
+
+* element-wise float64 arithmetic (`+`, `-`, `*`, `/`) is IEEE-754 and
+  matches the scalar interpreter operation for operation;
+* ``np.minimum`` / ``np.maximum`` argument order mirrors the scalar
+  ``min`` / ``max`` calls (both return the first argument on ties);
+* reductions that the object backend performs with sequential
+  left-to-right Python ``sum`` / ``+=`` are replayed as sequential
+  loops over ``.tolist()`` (``np.sum`` uses pairwise blocking and is
+  *not* bit-identical) — min/max reductions are order-free and safe;
+* queue pushes replay the object backend's base-dependent sequential
+  accumulation with ``np.cumsum`` over ``vstack([base, amounts])``
+  (cumsum is sequential by definition); columns where a bounded queue
+  would clamp an individual push fall back to an exact scalar replay.
+
+The contract is enforced by ``tests/engine/test_vector_equivalence.py``
+and by the golden-trace / chaos-scorecard byte-identity stages of
+``scripts/check.sh`` running under ``REPRO_ENGINE=vector``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.dataflow.operators import OperatorSpec
+from repro.dataflow.physical import InstanceId, PhysicalPlan
+from repro.dataflow.windowing import WindowState
+from repro.engine.allocation import fair_allocate_batch
+from repro.engine.npcompat import HAVE_NUMPY, FloatArray, np
+from repro.errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.simulator import Simulator, _Instance
+
+#: Environment variable selecting the engine backend for simulators
+#: constructed without an explicit ``backend=`` argument.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Recognized backend names.
+BACKENDS = ("object", "vector")
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolve the engine backend: the explicit argument if given, else
+    the ``REPRO_ENGINE`` environment variable, else ``object``."""
+    chosen = backend if backend is not None else (
+        os.environ.get(ENGINE_ENV) or "object"
+    )
+    if chosen not in BACKENDS:
+        raise EngineError(
+            f"unknown engine backend {chosen!r}; expected one of "
+            f"{BACKENDS} (see the {ENGINE_ENV} environment variable)"
+        )
+    if chosen == "vector" and not HAVE_NUMPY:
+        raise EngineError(
+            "the vector engine backend requires numpy; install numpy "
+            f"or select {ENGINE_ENV}=object"
+        )
+    return chosen
+
+
+class _OpState:
+    """Struct-of-arrays state of one operator's instances."""
+
+    __slots__ = (
+        "name",
+        "spec",
+        "parallelism",
+        "ports",
+        "port_index",
+        "capacity",
+        "q_len",
+        "q_pushed",
+        "q_popped",
+        "fire_backlog",
+        "win_buffered",
+        "win_next_fire",
+        "win_last_check",
+        "weights",
+        "weights_tuple",
+        "row_start",
+        "row_stop",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        spec: OperatorSpec,
+        parallelism: int,
+        ports: Tuple[str, ...],
+        capacity: Optional[float],
+        weights: Tuple[float, ...],
+        row_start: int,
+    ) -> None:
+        self.name = name
+        self.spec = spec
+        self.parallelism = parallelism
+        self.ports = ports
+        self.port_index: Dict[str, int] = {
+            port: k for k, port in enumerate(ports)
+        }
+        self.capacity = capacity
+        self.q_len: FloatArray = np.zeros(
+            (len(ports), parallelism), dtype=np.float64
+        )
+        self.q_pushed: FloatArray = np.zeros_like(self.q_len)
+        self.q_popped: FloatArray = np.zeros_like(self.q_len)
+        self.fire_backlog: FloatArray = np.zeros(
+            parallelism, dtype=np.float64
+        )
+        # Window state, struct-of-arrays: the per-instance ``buffered``
+        # amounts plus the shared fire clock. All instances of a window
+        # operator are created, reset, and fired together with the same
+        # spec and the same virtual times, so their ``next_fire`` /
+        # ``_last_check`` scalars advance in bit-identical lockstep —
+        # one copy is enough.
+        self.win_buffered: Optional[FloatArray] = None
+        self.win_next_fire = 0.0
+        self.win_last_check = 0.0
+        self.weights_tuple = weights
+        self.weights: FloatArray = np.array(weights, dtype=np.float64)
+        self.row_start = row_start
+        self.row_stop = row_start + parallelism
+
+    def queue_totals(self) -> FloatArray:
+        """Records queued per instance, summed across ports in port
+        order — the sequential sum of ``_Instance.total_queue_length``
+        replayed element-wise."""
+        totals = np.zeros(self.parallelism, dtype=np.float64)
+        for k in range(len(self.ports)):
+            totals = totals + self.q_len[k]
+        return totals
+
+    def pending(self) -> FloatArray:
+        """Per-instance pending records: queued + fire backlog +
+        window buffer (mirrors ``_Instance.pending_records``)."""
+        extra = self.fire_backlog
+        if self.win_buffered is not None:
+            extra = extra + self.win_buffered
+        return self.queue_totals() + extra
+
+    def max_fill(self) -> float:
+        """Worst port occupancy across instances (0 when unbounded or
+        portless)."""
+        if not self.ports or self.capacity is None:
+            return 0.0
+        return float(
+            np.minimum(1.0, self.q_len / self.capacity).max()
+        )
+
+
+class VectorEngine:
+    """The struct-of-arrays tick loop behind ``backend="vector"``.
+
+    A friend object of :class:`~repro.engine.simulator.Simulator`: the
+    simulator keeps the orchestration (tick order, outages, telemetry,
+    TickStats) and delegates every per-instance loop here. All methods
+    mutate the per-operator arrays in place.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        if not HAVE_NUMPY:
+            raise EngineError(
+                "the vector engine backend requires numpy"
+            )
+        self._sim = sim
+        self._graph = sim.graph
+        self._ops: Dict[str, _OpState] = {}
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def deploy(self, plan: PhysicalPlan) -> None:
+        """(Re)build array state for ``plan``, preserving in-flight
+        records and window buffers — the vector replay of
+        ``Simulator._deploy``."""
+        sim = self._sim
+        carried_ports: Dict[str, Dict[str, float]] = {}
+        carried_window: Dict[str, Tuple[float, float]] = {}
+        for name, op in self._ops.items():
+            per_port: Dict[str, float] = {}
+            for k, port in enumerate(op.ports):
+                # Sequential per-instance sum, as the object backend
+                # accumulates queue lengths instance by instance.
+                total = 0.0
+                for value in op.q_len[k].tolist():
+                    total += value
+                per_port[port] = total
+            carried_ports[name] = per_port
+            buffered = 0.0
+            if op.win_buffered is not None:
+                for value in op.win_buffered.tolist():
+                    buffered += value
+            backlog = 0.0
+            for value in op.fire_backlog.tolist():
+                backlog += value
+            carried_window[name] = (buffered, backlog)
+        self._ops = {}
+        next_row = 0
+        for name in self._graph.topological_order():
+            spec = self._graph.operator(name)
+            parallelism = plan.parallelism_of(name)
+            capacity = sim.runtime.queue_capacity(spec, parallelism)
+            weights = plan.input_weights(name)
+            ports = tuple(self._graph.upstream(name))
+            op = _OpState(
+                name=name,
+                spec=spec,
+                parallelism=parallelism,
+                ports=ports,
+                capacity=capacity,
+                weights=weights,
+                row_start=next_row,
+            )
+            next_row = op.row_stop
+            queued_by_port = carried_ports.get(name, {})
+            buffered, backlog = carried_window.get(name, (0.0, 0.0))
+            for k, port in enumerate(ports):
+                carried = queued_by_port.get(port, 0.0)
+                # force_push of carried * weight per instance: length
+                # and the cumulative pushed counter both start there.
+                row = carried * op.weights
+                op.q_len[k] = row
+                op.q_pushed[k] = row.copy()
+            op.fire_backlog = backlog * op.weights
+            if spec.window is not None:
+                # One WindowState carries the fire-clock reset semantics
+                # for the whole instance block (lockstep, see _OpState).
+                clock = WindowState(spec=spec.window)
+                clock.reset(sim.time)
+                op.win_buffered = buffered * op.weights
+                op.win_next_fire = clock.next_fire
+                op.win_last_check = clock._last_check
+            self._ops[name] = op
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def has_operator(self, name: str) -> bool:
+        return name in self._ops
+
+    def queue_length(self, name: str) -> float:
+        """Total pending records at an operator (all instances)."""
+        total = 0.0
+        for value in self._ops[name].pending().tolist():
+            total += value
+        return total
+
+    def total_queued(self) -> float:
+        """Records queued anywhere inside the dataflow."""
+        total = 0.0
+        for op in self._ops.values():
+            for value in op.pending().tolist():
+                total += value
+        return total
+
+    def max_fill(self, name: str) -> float:
+        return self._ops[name].max_fill()
+
+    def backpressured(self) -> Tuple[str, ...]:
+        """Operators with a bounded port at or above the runtime's
+        backpressure threshold, in topological order."""
+        threshold = self._sim.runtime.backpressure_threshold
+        result: List[str] = []
+        for name, op in self._ops.items():
+            if op.capacity is None or not op.ports:
+                continue
+            fills = np.minimum(1.0, op.q_len / op.capacity)
+            if bool((fills >= threshold).any()):
+                result.append(name)
+        return tuple(result)
+
+    def check_invariants(self) -> None:
+        """Queue conservation and non-negative fire backlogs (the
+        vector replay of ``Queue.check_conservation``)."""
+        for name, op in self._ops.items():
+            if op.ports:
+                drift = np.abs(
+                    (op.q_pushed - op.q_popped) - op.q_len
+                )
+                scale = np.maximum(1.0, op.q_pushed)
+                bad = drift > 1e-6 * scale
+                if bool(bad.any()):
+                    k, j = (int(i[0]) for i in np.nonzero(bad))
+                    raise EngineError(
+                        "queue conservation violated: "
+                        f"pushed={float(op.q_pushed[k, j])} "
+                        f"popped={float(op.q_popped[k, j])} "
+                        f"length={float(op.q_len[k, j])}"
+                    )
+            negative = op.fire_backlog < -1e-6
+            if bool(negative.any()):
+                j = int(np.flatnonzero(negative)[0])
+                raise EngineError(
+                    f"negative fire backlog at {InstanceId(name, j)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Demand estimation and latency delays
+    # ------------------------------------------------------------------
+
+    def estimate_demands(self, dt: float) -> Dict[str, FloatArray]:
+        """Seconds of pending work per instance, one array per operator
+        in topological order (consumed by ``Runtime.budgets_batch``)."""
+        sim = self._sim
+        demands: Dict[str, FloatArray] = {}
+        for name, op in self._ops.items():
+            spec = op.spec
+            if spec.is_source:
+                schedule = spec.rate
+                assert schedule is not None
+                rate = schedule.rate_at(sim.time)
+                per_instance = (
+                    rate * dt + sim.source_backlog(name)
+                ) / op.parallelism
+                cost = spec.costs.base_cost * sim._cost_multiplier()
+                demands[name] = np.full(
+                    op.parallelism,
+                    per_instance * max(cost, 1e-9),
+                    dtype=np.float64,
+                )
+                continue
+            if spec.window is not None:
+                assign_cost, fire_cost = sim._window_costs(
+                    spec, op.parallelism
+                )
+                demands[name] = (
+                    op.queue_totals() * assign_cost
+                    + op.fire_backlog * fire_cost
+                )
+                continue
+            cost = sim._unit_cost(spec, op.parallelism)
+            demands[name] = op.queue_totals() * cost
+        return demands
+
+    def operator_delays(self) -> Dict[str, float]:
+        """Per-operator drain delays for the record-latency tracker
+        (the vector replay of the loop in ``_observe_latency``)."""
+        sim = self._sim
+        delays: Dict[str, float] = {}
+        for name, op in self._ops.items():
+            spec = op.spec
+            if spec.is_source:
+                schedule = spec.rate
+                assert schedule is not None
+                rate = schedule.rate_at(sim.time)
+                backlog = sim.source_backlog(name)
+                delays[name] = backlog / rate if rate > 0 else 0.0
+                continue
+            if spec.window is not None:
+                assign_cost, fire_cost = sim._window_costs(
+                    spec, op.parallelism
+                )
+                per_instance = (
+                    op.queue_totals() * assign_cost
+                    + op.fire_backlog * fire_cost
+                )
+            else:
+                cost = sim._unit_cost(spec, op.parallelism)
+                per_instance = op.queue_totals() * cost
+            delays[name] = float(per_instance.max())
+        return delays
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _downstream_limit(self, name: str) -> float:
+        """Maximum records ``name`` may emit right now without
+        overflowing any downstream instance queue (inf if unbounded)."""
+        limit = math.inf
+        for downstream in self._graph.downstream(name):
+            dop = self._ops[downstream]
+            if dop.capacity is None:
+                continue
+            k = dop.port_index[name]
+            free = np.maximum(0.0, dop.capacity - dop.q_len[k])
+            positive = dop.weights > 0
+            if bool(positive.any()):
+                candidate = float(
+                    (free[positive] / dop.weights[positive]).min()
+                )
+                limit = min(limit, candidate)
+        return limit
+
+    def _emit(self, name: str, emits: FloatArray) -> None:
+        """Distribute per-upstream-instance emissions across every
+        downstream instance queue.
+
+        For downstream instance ``j`` the object backend pushes the
+        amounts ``emits[i] * weight[j]`` sequentially over upstream
+        instances ``i``; ``np.cumsum`` over ``vstack([base, amounts])``
+        replays that base-dependent sequence exactly. Columns where a
+        bounded queue would clamp an individual push (backpressure
+        epsilon cases) are replayed scalar-exactly instead.
+        """
+        for downstream in self._graph.downstream(name):
+            dop = self._ops[downstream]
+            k = dop.port_index[name]
+            amounts = np.outer(emits, dop.weights)
+            base_len = dop.q_len[k]
+            base_pushed = dop.q_pushed[k]
+            len_partials = np.cumsum(
+                np.vstack((base_len[None, :], amounts)), axis=0
+            )
+            new_pushed = np.cumsum(
+                np.vstack((base_pushed[None, :], amounts)), axis=0
+            )[-1]
+            capacity = dop.capacity
+            if capacity is None:
+                dop.q_len[k] = len_partials[-1]
+                dop.q_pushed[k] = new_pushed
+                continue
+            # A push clamps when its amount exceeds the free space seen
+            # at that step; before the first clamp the unclamped partial
+            # sums are the true lengths, so the test is exact.
+            free = np.maximum(0.0, capacity - len_partials[:-1])
+            clamped = (amounts > free).any(axis=0)
+            new_len = len_partials[-1]
+            if bool(clamped.any()):
+                for j in np.flatnonzero(clamped).tolist():
+                    length = float(base_len[j])
+                    pushed = float(base_pushed[j])
+                    for amount in amounts[:, j].tolist():
+                        space = max(0.0, capacity - length)
+                        accepted = min(amount, space)
+                        length += accepted
+                        pushed += accepted
+                        if accepted < amount - 1e-6:
+                            raise EngineError(
+                                "emission overflow into "
+                                f"{InstanceId(downstream, j)}: the "
+                                "downstream limit computation is "
+                                "inconsistent"
+                            )
+                    new_len[j] = length
+                    new_pushed[j] = pushed
+            dop.q_len[k] = new_len
+            dop.q_pushed[k] = new_pushed
+
+    def _pop_batch(
+        self, op: _OpState, amounts: FloatArray
+    ) -> FloatArray:
+        """Remove up to ``amounts[j]`` records from instance ``j``,
+        drawing from each port proportionally to its backlog — the
+        vector replay of ``_Instance.pop_records`` (including the
+        drain-everything shortcut and the negative-drift clamp)."""
+        if not op.ports:
+            return np.zeros(op.parallelism, dtype=np.float64)
+        totals = op.queue_totals()
+        active = (amounts > 0) & (totals > 0)
+        if not bool(active.any()):
+            return np.zeros(op.parallelism, dtype=np.float64)
+        drain = active & (amounts >= totals)
+        partial = active & ~drain
+        queues = op.q_len
+        removed = np.zeros_like(queues)
+        if bool(partial.any()):
+            safe_totals = np.where(partial, totals, 1.0)
+            shares = amounts * (queues / safe_totals)
+            removed = np.where(
+                partial, np.minimum(shares, queues), removed
+            )
+        removed = np.where(drain, queues, removed)
+        new_len = queues - removed
+        negative = new_len < 0
+        if bool(negative.any()):
+            worst = float(new_len.min())
+            if worst < -1e-6:
+                raise EngineError(
+                    f"queue length went negative: {worst}"
+                )
+            new_len = np.where(negative, 0.0, new_len)
+        op.q_len = new_len
+        op.q_popped = op.q_popped + removed
+        popped = np.zeros(op.parallelism, dtype=np.float64)
+        for k in range(len(op.ports)):
+            popped = popped + removed[k]
+        return popped
+
+    # ------------------------------------------------------------------
+    # Tick work
+    # ------------------------------------------------------------------
+
+    def run_source(
+        self,
+        name: str,
+        spec: OperatorSpec,
+        budgets: FloatArray,
+        dt: float,
+    ) -> Tuple[float, float]:
+        """Generate and emit source records; returns
+        ``(emitted, desired)`` — the vector replay of
+        ``Simulator._run_source``."""
+        sim = self._sim
+        op = self._ops[name]
+        schedule = spec.rate
+        assert schedule is not None
+        rate = schedule.rate_at(sim.time)
+        desired = rate * dt
+        available = desired + sim.source_backlog(name)
+        cap = desired * sim.config.source_catchup_factor
+        want = min(available, max(cap, desired))
+        if sim.runtime.sources_blocked_by_backpressure:
+            space = self._downstream_limit(name)
+        else:
+            space = math.inf
+        cost = spec.costs.base_cost * sim._cost_multiplier()
+        share = want / op.parallelism
+        if cost <= 0:
+            desires = np.full(
+                op.parallelism, share, dtype=np.float64
+            )
+        else:
+            desires = np.minimum(share, budgets / cost)
+        allocations = fair_allocate_batch(space, desires)
+        self._emit(name, allocations)
+        useful = np.minimum(allocations * cost, dt)
+        waiting = np.maximum(0.0, dt - useful)
+        sim.metrics_manager.record_block(
+            op.row_start,
+            op.row_stop,
+            pulled=allocations,
+            pushed=allocations,
+            useful=useful,
+            waiting=waiting,
+        )
+        emitted_total = 0.0
+        for value in allocations.tolist():
+            emitted_total += value
+        sim._source_backlog[name] = max(
+            0.0, available - emitted_total
+        )
+        return emitted_total, desired
+
+    def run_operator(
+        self,
+        name: str,
+        spec: OperatorSpec,
+        budgets: FloatArray,
+        dt: float,
+        end_time: float,
+    ) -> float:
+        """Run one non-source operator for a tick; returns records
+        consumed — the vector replay of ``Simulator._run_operator``."""
+        sim = self._sim
+        op = self._ops[name]
+        if spec.is_sink:
+            space = math.inf
+        else:
+            space = self._downstream_limit(name)
+        if op.win_buffered is not None:
+            return self._run_window(
+                op, spec, budgets, dt, end_time, space
+            )
+        unit_cost = sim._unit_cost(spec, op.parallelism)
+        selectivity = spec.selectivity.ratio
+        totals = op.queue_totals()
+        if unit_cost <= 0:
+            desires = totals
+        else:
+            desires = np.minimum(totals, budgets / unit_cost)
+        pull_cap = (
+            math.inf if selectivity <= 0 else space / selectivity
+        )
+        allocations = fair_allocate_batch(pull_cap, desires)
+        processed = self._pop_batch(op, allocations)
+        emit = processed * selectivity
+        if spec.is_sink:
+            pushed = np.zeros(op.parallelism, dtype=np.float64)
+        else:
+            self._emit(name, emit)
+            pushed = emit
+        useful = np.minimum(processed * unit_cost, dt)
+        waiting = np.maximum(0.0, dt - useful)
+        sim.metrics_manager.record_block(
+            op.row_start,
+            op.row_stop,
+            pulled=processed,
+            pushed=pushed,
+            useful=useful,
+            waiting=waiting,
+        )
+        processed_list = processed.tolist()
+        sim.state_model.record_processed_block(name, processed_list)
+        consumed_total = 0.0
+        for value in processed_list:
+            consumed_total += value
+        return consumed_total
+
+    def _run_window(
+        self,
+        op: _OpState,
+        spec: OperatorSpec,
+        budgets: FloatArray,
+        dt: float,
+        end_time: float,
+        space: float,
+    ) -> float:
+        sim = self._sim
+        window_spec = spec.window
+        assert window_spec is not None and op.win_buffered is not None
+        assign_cost, fire_cost = sim._window_costs(
+            spec, op.parallelism
+        )
+        fire_sel = window_spec.fire_selectivity
+        budgets_left = budgets.copy()
+        totals = op.queue_totals()
+        backlog = op.fire_backlog
+        # Fire work and assignment work share each instance's budget
+        # proportionally to their demands (see the object backend for
+        # why a fire-first priority would collapse throughput).
+        fire_demand = backlog * fire_cost
+        assign_demand = totals * assign_cost
+        total_demand = fire_demand + assign_demand
+        has_demand = total_demand > 0
+        share = np.where(
+            has_demand,
+            np.minimum(
+                1.0,
+                fire_demand / np.where(has_demand, total_demand, 1.0),
+            ),
+            0.0,
+        )
+        fire_budget = budgets_left * share
+        # Stage 1: drain the fire backlogs (burst work), sharing the
+        # downstream space fairly.
+        if fire_cost <= 0:
+            fire_desires = backlog
+        else:
+            fire_desires = np.minimum(
+                backlog, fire_budget / fire_cost
+            )
+        fire_cap = math.inf if fire_sel <= 0 else space / fire_sel
+        fired = fair_allocate_batch(fire_cap, fire_desires)
+        op.fire_backlog = backlog - fired
+        emit = fired * fire_sel
+        self._emit(op.name, emit)
+        useful_acc = fired * fire_cost
+        pushed_acc = emit
+        budgets_left = np.maximum(
+            0.0, budgets_left - fired * fire_cost
+        )
+        # Stage 2: assign newly arrived records to windows (no
+        # emission, so no space constraint). Firing popped nothing, so
+        # the queue totals are unchanged.
+        if assign_cost <= 0:
+            amounts = totals
+        else:
+            amounts = np.minimum(
+                totals, budgets_left / assign_cost
+            )
+        assigned = self._pop_batch(op, amounts)
+        # WindowState.assign, element-wise: each instance buffers its
+        # replicated share of the assigned records.
+        buffered = op.win_buffered + assigned * window_spec.replication
+        # Stage 3: check window boundaries — WindowState.maybe_fire
+        # with the shared lockstep fire clock (see _OpState).
+        if window_spec.staggered:
+            elapsed = max(0.0, end_time - op.win_last_check)
+            op.win_last_check = end_time
+            fraction = min(1.0, elapsed / window_spec.fire_interval)
+            released = buffered * fraction
+            buffered = buffered - released
+        else:
+            fires = 0
+            next_fire = op.win_next_fire
+            while next_fire <= end_time:
+                fires += 1
+                next_fire += window_spec.fire_interval
+            op.win_next_fire = next_fire
+            if fires:
+                released = buffered
+                buffered = np.zeros(op.parallelism, dtype=np.float64)
+            else:
+                released = np.zeros(op.parallelism, dtype=np.float64)
+        op.win_buffered = buffered
+        op.fire_backlog = op.fire_backlog + released
+        useful_acc = useful_acc + assigned * assign_cost
+        useful = np.minimum(useful_acc, dt)
+        waiting = np.maximum(0.0, dt - useful)
+        sim.metrics_manager.record_block(
+            op.row_start,
+            op.row_stop,
+            pulled=assigned,
+            pushed=pushed_acc,
+            useful=useful,
+            waiting=waiting,
+        )
+        assigned_list = assigned.tolist()
+        sim.state_model.record_processed_block(op.name, assigned_list)
+        consumed_total = 0.0
+        for value in assigned_list:
+            consumed_total += value
+        return consumed_total
+
+    # ------------------------------------------------------------------
+    # Compatibility
+    # ------------------------------------------------------------------
+
+    def materialize_instances(self) -> Dict[str, List["_Instance"]]:
+        """Object-backend-shaped snapshots of the array state, for
+        callers (tests, debuggers) that poke ``Simulator._instances``.
+
+        Queues are rebuilt with the exact length / pushed / popped
+        trajectory of the arrays, so conservation checks and fill
+        fractions read identically; window state machines are rebuilt
+        from the buffered array and the shared fire clock. Treat the
+        result as read-only: mutations do not flow back into the
+        arrays.
+        """
+        from repro.engine.buffers import Queue
+        from repro.engine.simulator import _Instance
+
+        result: Dict[str, List["_Instance"]] = {}
+        for name, op in self._ops.items():
+            instances: List["_Instance"] = []
+            for j in range(op.parallelism):
+                ports: Dict[str, Queue] = {}
+                for k, port in enumerate(op.ports):
+                    queue = Queue(capacity=op.capacity)
+                    queue._length = float(op.q_len[k, j])
+                    queue._pushed = float(op.q_pushed[k, j])
+                    queue._popped = float(op.q_popped[k, j])
+                    ports[port] = queue
+                instance = _Instance(
+                    iid=InstanceId(name, j),
+                    spec=op.spec,
+                    ports=ports,
+                )
+                if op.win_buffered is not None:
+                    assert op.spec.window is not None
+                    window = WindowState(spec=op.spec.window)
+                    window.buffered = float(op.win_buffered[j])
+                    window.next_fire = op.win_next_fire
+                    window._last_check = op.win_last_check
+                    instance.window = window
+                instance.fire_backlog = float(op.fire_backlog[j])
+                instances.append(instance)
+            result[name] = instances
+        return result
+
+
+__all__ = [
+    "BACKENDS",
+    "ENGINE_ENV",
+    "VectorEngine",
+    "resolve_backend",
+]

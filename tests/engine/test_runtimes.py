@@ -11,7 +11,13 @@ from repro.dataflow.operators import (
     source,
 )
 from repro.dataflow.physical import InstanceId, PhysicalPlan
-from repro.engine.runtimes import FlinkRuntime, HeronRuntime, TimelyRuntime
+from repro.engine.npcompat import HAVE_NUMPY, np
+from repro.engine.runtimes import (
+    FlinkRuntime,
+    HeronRuntime,
+    TimelyRuntime,
+    _waterfill_values,
+)
 from repro.errors import EngineError
 
 
@@ -133,3 +139,84 @@ class TestTimelyRuntime:
         runtime = TimelyRuntime()
         assert not runtime.sources_blocked_by_backpressure
         assert runtime.spin_when_idle
+
+
+class TestWaterfillEdgeCases:
+    """Regressions for the water-filling core's degenerate inputs
+    (empty instance set, no active demand)."""
+
+    def test_empty_demand_list_is_empty_allocation(self):
+        assert _waterfill_values([], 0.3) == []
+
+    def test_all_zero_demands_get_even_spin_bonus(self):
+        # No active instance: the whole worker tick is spin time,
+        # spread evenly — never a division by the empty active set.
+        assert _waterfill_values([0.0, 0.0, 0.0], 0.3) == pytest.approx(
+            [0.1, 0.1, 0.1]
+        )
+
+    def test_negative_demands_treated_as_zero(self):
+        allocation = _waterfill_values([-1.0, -5.0], 0.2)
+        assert allocation == pytest.approx([0.1, 0.1])
+
+    def test_zero_budget(self):
+        assert _waterfill_values([1.0, 2.0], 0.0) == [0.0, 0.0]
+
+    def test_mixed_zero_and_positive_demands(self):
+        allocation = _waterfill_values([0.0, 0.05, 0.0], 0.3)
+        # The busy position is satisfied; the leftover spin bonus is
+        # spread over all three.
+        assert allocation[1] >= 0.05
+        assert sum(allocation) == pytest.approx(0.3)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+class TestBudgetsBatch:
+    """budgets_batch must agree exactly with the per-InstanceId
+    budgets path — it backs the vector engine backend."""
+
+    def as_demand_arrays(self, plan, demands):
+        return {
+            name: np.asarray(
+                [
+                    demands[InstanceId(name, index)]
+                    for index in range(plan.parallelism_of(name))
+                ],
+                dtype=np.float64,
+            )
+            for name in plan.graph.topological_order()
+        }
+
+    @pytest.mark.parametrize(
+        "runtime_cls", [FlinkRuntime, HeronRuntime, TimelyRuntime]
+    )
+    def test_matches_scalar_budgets(self, graph, runtime_cls):
+        runtime = runtime_cls()
+        plan = PhysicalPlan(graph, {name: 3 for name in graph.names})
+        demands = {
+            iid: 0.01 * (1 + index)
+            for index, iid in enumerate(plan.all_instances())
+        }
+        scalar = runtime.budgets(plan, demands, dt=0.25)
+        batch = runtime.budgets_batch(
+            plan, self.as_demand_arrays(plan, demands), dt=0.25
+        )
+        for name in plan.graph.topological_order():
+            for index in range(plan.parallelism_of(name)):
+                assert batch[name][index] == (
+                    scalar[InstanceId(name, index)]
+                ), (name, index)
+
+    def test_timely_zero_demand_worker(self, graph):
+        runtime = TimelyRuntime()
+        plan = PhysicalPlan(graph, {name: 2 for name in graph.names})
+        demands = {iid: 0.0 for iid in plan.all_instances()}
+        demands[InstanceId("m", 0)] = 1.0
+        scalar = runtime.budgets(plan, demands, dt=0.1)
+        batch = runtime.budgets_batch(
+            plan, self.as_demand_arrays(plan, demands), dt=0.1
+        )
+        # Worker 1 has no active demand at all: pure spin split.
+        for name in plan.graph.topological_order():
+            assert batch[name][1] == scalar[InstanceId(name, 1)]
+            assert batch[name][1] == pytest.approx(0.1 / 3)
