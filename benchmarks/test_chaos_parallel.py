@@ -28,7 +28,7 @@ SPEEDUP_CORES = 4
 
 
 def _timed(jobs):
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow[REPRO101] — benchmark measures wall clock
     result = run_chaos(
         profile="mixed",
         campaigns=CAMPAIGNS,
@@ -36,7 +36,7 @@ def _timed(jobs):
         include_recovery=False,
         jobs=jobs,
     )
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start  # repro: allow[REPRO101]
 
 
 def test_chaos_parallel_speedup(benchmark):

@@ -49,12 +49,12 @@ def time_run(telemetry: bool) -> float:
     if telemetry:
         with tracing(Tracer(capacity=None)), \
                 metering(MetricsRegistry()):
-            started = time.perf_counter()
+            started = time.perf_counter()  # repro: allow[REPRO101] — benchmark measures wall clock
             sim.run_for(SIM_SECONDS)
-            return time.perf_counter() - started
-    started = time.perf_counter()
+            return time.perf_counter() - started  # repro: allow[REPRO101]
+    started = time.perf_counter()  # repro: allow[REPRO101]
     sim.run_for(SIM_SECONDS)
-    return time.perf_counter() - started
+    return time.perf_counter() - started  # repro: allow[REPRO101]
 
 
 def test_telemetry_overhead_within_tolerance():

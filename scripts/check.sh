@@ -9,16 +9,21 @@
 #   1. ruff          - style/correctness lint (skipped if not installed)
 #   2. mypy          - type check (skipped if not installed)
 #   3. repro lint    - in-tree determinism linter (always runs)
-#   4. repro check-graph --all
+#   4. parallel safety
+#                    - pickle-safety / worker-shared-state /
+#                      reduction-order analyzers plus stale-suppression
+#                      hygiene over every shipped tree (lint fixtures
+#                      excluded: they exist to violate the rules)
+#   5. repro check-graph --all
 #                    - graph invariants for every built-in workload
-#   5. trace schema  - golden-file JSONL trace schema check
-#   6. parallel chaos equivalence
+#   6. trace schema  - golden-file JSONL trace schema check
+#   7. parallel chaos equivalence
 #                    - smoke-profile serial vs process-pool scorecards
-#   7. kill-and-resume equivalence
+#   8. kill-and-resume equivalence
 #                    - hard-killed chaos run resumed from its journal
 #                      must match an uninterrupted run byte-for-byte
-#   8. pytest        - tier-1 test suite
-#   9. pytest (REPRO_ENGINE=vector)
+#   9. pytest        - tier-1 test suite
+#  10. pytest (REPRO_ENGINE=vector)
 #                    - the same tier-1 suite on the struct-of-arrays
 #                      engine backend; passing both proves the golden
 #                      trace / scorecard byte-identity oracle holds for
@@ -27,7 +32,7 @@
 # ruff and mypy are optional dev dependencies (`pip install -e .[lint]`).
 # When they are missing the stage is skipped with a notice rather than
 # failing, so the gate is usable in minimal containers; the in-tree
-# stages (3-5) have no third-party dependencies and always run.
+# stages (3-6) have no third-party dependencies and always run.
 
 set -u
 
@@ -55,7 +60,8 @@ run_stage() {
     if "$@"; then
         echo "==> ${name}: OK"
     else
-        echo "==> ${name}: FAILED" >&2
+        local status=$?
+        echo "==> ${name}: FAILED (exit ${status})" >&2
         FAILURES=$((FAILURES + 1))
     fi
     echo
@@ -78,7 +84,16 @@ else
     skip_stage "mypy" "not installed; pip install -e .[lint]"
 fi
 
-run_stage "repro lint" python -m repro lint src/repro
+run_stage "repro lint" \
+    python -m repro lint src/repro scripts benchmarks examples
+# Parallel-safety gate, as its own stage so its exit code (and which
+# family failed) is visible in the stage summary rather than folded
+# into the determinism lint above.
+run_stage "parallel safety (pickle/worker-state/reduction-order)" \
+    python -m repro lint \
+    --select pickle-safety,worker-shared-state,reduction-order,suppressions \
+    --exclude tests/analysis/fixtures \
+    src/repro tests scripts benchmarks examples
 run_stage "repro check-graph" python -m repro check-graph --all
 # Golden-file trace schema gate: a seeded controlled run must still
 # serialize byte-for-byte to tests/telemetry/golden_trace.jsonl.

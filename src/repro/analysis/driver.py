@@ -1,0 +1,253 @@
+"""The combined lint driver: every analyzer, one pass per file.
+
+``repro lint`` runs through here. For each file the driver collects
+raw findings from the determinism linter (REPRO1xx) and the
+parallel-safety analyzer (REPRO2xx/3xx/4xx), applies ``# repro:
+allow[RULE]`` suppressions once against the union, reports *stale*
+suppressions (an allow whose rule no longer fires on that line) as
+warning-severity REPRO501 findings, and finally applies
+``--select/--ignore`` — which accept family names (``pickle-safety``)
+as shorthand for every rule in the family, alongside individual rule
+ids and names.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
+
+from repro.analysis.linter import LINT_RULES, collect_findings
+from repro.analysis.parallel import (
+    PARALLEL_RULES,
+    collect_parallel_findings,
+)
+from repro.analysis.pysource import (
+    iter_python_files,
+    parse_suppressions,
+    suppressed,
+)
+from repro.analysis.report import Diagnostic, Severity
+from repro.analysis.rules import (
+    AnalysisError,
+    FAMILIES,
+    Rule,
+    RuleRegistry,
+    register_family,
+)
+
+SUPPRESSIONS = register_family(
+    "suppressions",
+    "hygiene of # repro: allow[...] comments",
+)
+
+#: Registry of suppression-hygiene rules.
+HYGIENE_RULES = RuleRegistry()
+
+STALE_ALLOW = HYGIENE_RULES.register(Rule(
+    id="REPRO501",
+    name="stale-allow",
+    summary=(
+        "a # repro: allow[RULE] comment whose rule no longer fires "
+        "on that line"
+    ),
+    rationale=(
+        "a stale allow is a latent hole: when the flagged construct "
+        "returns (or moves one line), the suppression silently "
+        "swallows it; remove the comment once the finding is gone"
+    ),
+    family=SUPPRESSIONS,
+))
+
+#: Every registry the combined driver consults, in id order.
+ALL_REGISTRIES = (LINT_RULES, PARALLEL_RULES, HYGIENE_RULES)
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule across all analyzer registries."""
+    rules: List[Rule] = []
+    for registry in ALL_REGISTRIES:
+        rules.extend(registry)
+    return rules
+
+
+def _lookup_rule(key: str) -> Rule:
+    for registry in ALL_REGISTRIES:
+        if key in registry:
+            return registry.get(key)
+    known = ", ".join(
+        sorted(rule.id for rule in all_rules())
+        + sorted(FAMILIES)
+    )
+    raise AnalysisError(
+        f"unknown rule or family {key!r}; known: {known}"
+    )
+
+
+def resolve_selection(
+    keys: Optional[Iterable[str]],
+) -> Optional[Set[str]]:
+    """Expand ``--select/--ignore`` tokens to rule ids.
+
+    Each token is a rule id (``REPRO301``), a rule name
+    (``worker-global-write``), or a family name
+    (``worker-shared-state``, expanding to every rule in it).
+    """
+    if keys is None:
+        return None
+    ids: Set[str] = set()
+    for key in keys:
+        family = key.lower()
+        if family in FAMILIES:
+            ids.update(
+                rule.id
+                for rule in all_rules()
+                if rule.family == family
+            )
+        else:
+            ids.add(_lookup_rule(key).id)
+    return ids
+
+
+def _stale_findings(
+    path: str,
+    allowed: Dict[int, Set[str]],
+    raw: Sequence[Diagnostic],
+) -> List[Diagnostic]:
+    """Warning findings for allow tokens that suppress nothing."""
+    fired: Dict[int, Set[str]] = {}
+    for finding in raw:
+        if finding.line is not None:
+            fired.setdefault(finding.line, set()).add(finding.code)
+    findings: List[Diagnostic] = []
+    for lineno in sorted(allowed):
+        tokens = allowed[lineno]
+        normalized = {token.lower() for token in tokens}
+        if (
+            STALE_ALLOW.id.lower() in normalized
+            or STALE_ALLOW.name in normalized
+        ):
+            # An explicit allow[REPRO501] opts the line out of stale
+            # checking (and is never itself reported stale).
+            continue
+        fired_here = fired.get(lineno, set())
+        for token in sorted(tokens):
+            if token == "*":
+                if not fired_here:
+                    findings.append(Diagnostic(
+                        code=STALE_ALLOW.id,
+                        message=(
+                            "stale suppression: allow[*] on a line "
+                            "where no rule fires; remove the comment"
+                        ),
+                        path=path,
+                        line=lineno,
+                        severity=Severity.WARNING,
+                    ))
+                continue
+            try:
+                rule = _lookup_rule(token)
+            except AnalysisError:
+                findings.append(Diagnostic(
+                    code=STALE_ALLOW.id,
+                    message=(
+                        f"suppression names unknown rule {token!r}; "
+                        "it suppresses nothing"
+                    ),
+                    path=path,
+                    line=lineno,
+                    severity=Severity.WARNING,
+                ))
+                continue
+            if rule.id not in fired_here:
+                findings.append(Diagnostic(
+                    code=STALE_ALLOW.id,
+                    message=(
+                        f"stale suppression: {rule.id} "
+                        f"({rule.name}) no longer fires on this "
+                        "line; remove the allow comment"
+                    ),
+                    path=path,
+                    line=lineno,
+                    severity=Severity.WARNING,
+                ))
+    return findings
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """All analyzers over one source string: suppressions applied,
+    stale allows reported, select/ignore (rule or family) resolved."""
+    selected = resolve_selection(select)
+    ignored = resolve_selection(ignore) or set()
+    raw = collect_findings(source, path)
+    raw.extend(collect_parallel_findings(source, path))
+    allowed = parse_suppressions(source)
+
+    results: List[Diagnostic] = []
+    for finding in raw:
+        rule = _lookup_rule(finding.code)
+        if finding.line is not None and suppressed(
+            allowed, finding.line, rule
+        ):
+            continue
+        if selected is not None and rule.id not in selected:
+            continue
+        if rule.id in ignored:
+            continue
+        results.append(finding)
+
+    stale = _stale_findings(path, allowed, raw)
+    for finding in stale:
+        if selected is not None and STALE_ALLOW.id not in selected:
+            continue
+        if STALE_ALLOW.id in ignored:
+            continue
+        results.append(finding)
+    return results
+
+
+def check_sources(
+    paths: Sequence[Union[str, Path]],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    exclude: Sequence[Union[str, Path]] = (),
+) -> List[Diagnostic]:
+    """All analyzers over files and/or directory trees.
+
+    ``exclude`` drops files at or below the given paths (the lint
+    fixtures directory, for one, is deliberately full of findings).
+    """
+    # Resolve eagerly so an unknown rule fails fast, not mid-walk.
+    resolve_selection(select)
+    resolve_selection(ignore)
+    findings: List[Diagnostic] = []
+    for file_path in iter_python_files(paths, exclude=exclude):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(check_source(
+            source, str(file_path), select=select, ignore=ignore,
+        ))
+    return findings
+
+
+__all__ = [
+    "ALL_REGISTRIES",
+    "HYGIENE_RULES",
+    "all_rules",
+    "check_source",
+    "check_sources",
+    "resolve_selection",
+]

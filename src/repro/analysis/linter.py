@@ -15,7 +15,8 @@ Rules (see :data:`LINT_RULES` or ``docs/analysis.md`` for the catalog):
 * ``REPRO103 os-entropy`` — kernel entropy (urandom, uuid4, secrets).
 * ``REPRO104 unordered-iteration`` — iterating sets / set-algebra
   results whose order is hash-randomized.
-* ``REPRO105 id-ordering`` — ordering by ``id()`` (address-dependent).
+* ``REPRO105 id-ordering`` — orders values by ``id()``
+  (address-dependent).
 
 Suppress a deliberate use with a same-line comment::
 
@@ -23,15 +24,19 @@ Suppress a deliberate use with a same-line comment::
 
 The bracket takes a comma-separated list of rule ids or names, or
 ``*`` to allow everything on that line.
+
+The parallel-safety rule families (pickle-safety, worker shared state,
+reduction order) live in :mod:`repro.analysis.parallel`; the combined
+run over both analyzers — plus stale-suppression reporting — is
+:func:`repro.analysis.driver.check_sources`, which is what ``repro
+lint`` invokes.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from pathlib import Path
 from typing import (
-    Dict,
     Iterable,
     List,
     Optional,
@@ -40,8 +45,24 @@ from typing import (
     Union,
 )
 
+from repro.analysis.pysource import (
+    Aliases,
+    iter_python_files,
+    parse_suppressions,
+    suppressed,
+    unordered_reason,
+)
 from repro.analysis.report import Diagnostic, Severity
-from repro.analysis.rules import AnalysisError, Rule, RuleRegistry
+from repro.analysis.rules import (
+    Rule,
+    RuleRegistry,
+    register_family,
+)
+
+DETERMINISM = register_family(
+    "determinism",
+    "entropy and ordering hazards that break seeded replay",
+)
 
 #: Registry of every determinism lint rule.
 LINT_RULES = RuleRegistry()
@@ -54,6 +75,7 @@ SYNTAX = LINT_RULES.register(Rule(
         "an unparseable file cannot be checked, so it fails the lint "
         "run instead of silently escaping analysis"
     ),
+    family=DETERMINISM,
 ))
 WALL_CLOCK = LINT_RULES.register(Rule(
     id="REPRO101",
@@ -64,6 +86,7 @@ WALL_CLOCK = LINT_RULES.register(Rule(
         "time; a wall-clock read makes two replays of the same seed "
         "diverge"
     ),
+    family=DETERMINISM,
 ))
 UNSEEDED_RNG = LINT_RULES.register(Rule(
     id="REPRO102",
@@ -77,6 +100,7 @@ UNSEEDED_RNG = LINT_RULES.register(Rule(
         "from the OS; all randomness must flow through an explicitly "
         "seeded random.Random passed in by the caller"
     ),
+    family=DETERMINISM,
 ))
 OS_ENTROPY = LINT_RULES.register(Rule(
     id="REPRO103",
@@ -86,6 +110,7 @@ OS_ENTROPY = LINT_RULES.register(Rule(
         "kernel entropy is unseedable by construction; identifiers "
         "and draws must come from the run's seed instead"
     ),
+    family=DETERMINISM,
 ))
 UNORDERED_ITERATION = LINT_RULES.register(Rule(
     id="REPRO104",
@@ -100,6 +125,7 @@ UNORDERED_ITERATION = LINT_RULES.register(Rule(
         "order every run; wrap in sorted() or iterate an ordered "
         "container"
     ),
+    family=DETERMINISM,
 ))
 ID_ORDERING = LINT_RULES.register(Rule(
     id="REPRO105",
@@ -109,6 +135,7 @@ ID_ORDERING = LINT_RULES.register(Rule(
         "id() is an allocation address, different every process; "
         "sort by a stable domain key instead"
     ),
+    family=DETERMINISM,
 ))
 
 #: Real-clock callables, by resolved qualified name.
@@ -153,77 +180,6 @@ _OS_ENTROPY_CALLS = frozenset({
     "random.SystemRandom",
 })
 
-_ALLOW_PATTERN = re.compile(
-    r"#\s*repro:\s*allow\[([^\]]*)\]", re.IGNORECASE
-)
-
-
-def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map 1-based line numbers to the rule tokens allowed there."""
-    allowed: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _ALLOW_PATTERN.search(line)
-        if match is None:
-            continue
-        tokens = {
-            token.strip()
-            for token in match.group(1).split(",")
-            if token.strip()
-        }
-        if tokens:
-            allowed[lineno] = tokens
-    return allowed
-
-
-def _suppressed(
-    allowed: Dict[int, Set[str]], lineno: int, rule: Rule
-) -> bool:
-    tokens = allowed.get(lineno)
-    if not tokens:
-        return False
-    return any(
-        token == "*"
-        or token.upper() == rule.id
-        or token.lower() == rule.name
-        for token in tokens
-    )
-
-
-class _Aliases:
-    """Tracks import bindings so dotted call names resolve to their
-    canonical modules (``np.random.rand`` -> ``numpy.random.rand``,
-    ``from time import time as t; t()`` -> ``time.time``)."""
-
-    def __init__(self) -> None:
-        self._map: Dict[str, str] = {}
-
-    def add_import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            if alias.asname is not None:
-                self._map[alias.asname] = alias.name
-            else:
-                root = alias.name.split(".")[0]
-                self._map.setdefault(root, root)
-
-    def add_import_from(self, node: ast.ImportFrom) -> None:
-        if node.level or node.module is None:
-            return  # relative import: never a stdlib entropy source
-        for alias in node.names:
-            bound = alias.asname or alias.name
-            self._map[bound] = f"{node.module}.{alias.name}"
-
-    def qualify(self, node: ast.AST) -> Optional[str]:
-        """Resolve an expression to a dotted name, or None if it is
-        not a plain name/attribute chain."""
-        if isinstance(node, ast.Name):
-            return self._map.get(node.id, node.id)
-        if isinstance(node, ast.Attribute):
-            base = self.qualify(node.value)
-            if base is None:
-                return None
-            return f"{base}.{node.attr}"
-        return None
-
 
 def _has_arguments(node: ast.Call) -> bool:
     return bool(node.args or node.keywords)
@@ -234,7 +190,7 @@ class _LintVisitor(ast.NodeVisitor):
 
     def __init__(self, path: str) -> None:
         self._path = path
-        self._aliases = _Aliases()
+        self._aliases = Aliases()
         self.findings: List[Diagnostic] = []
 
     # -- bookkeeping ---------------------------------------------------
@@ -358,49 +314,8 @@ class _LintVisitor(ast.NodeVisitor):
 
     # -- iteration rule (104) ------------------------------------------
 
-    def _unordered_reason(self, expr: ast.AST) -> Optional[str]:
-        """Why ``expr`` evaluates to an unordered collection, or None
-        if its order is well-defined (syntactically)."""
-        if isinstance(expr, ast.Set):
-            return "a set literal"
-        if isinstance(expr, ast.SetComp):
-            return "a set comprehension"
-        if isinstance(expr, ast.Call):
-            name = self._aliases.qualify(expr.func)
-            if name in ("set", "frozenset"):
-                return f"{name}(...)"
-            if (
-                isinstance(expr.func, ast.Attribute)
-                and expr.func.attr in ("union", "intersection",
-                                       "difference",
-                                       "symmetric_difference")
-                and self._unordered_reason(expr.func.value) is not None
-            ):
-                return f"a set .{expr.func.attr}(...) result"
-        if isinstance(expr, ast.BinOp) and isinstance(
-            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
-        ):
-            left = self._unordered_reason(expr.left)
-            right = self._unordered_reason(expr.right)
-            keysish = self._is_keys_view(expr.left) or self._is_keys_view(
-                expr.right
-            )
-            if left is not None or right is not None or keysish:
-                return "a set-algebra result"
-        return None
-
-    @staticmethod
-    def _is_keys_view(expr: ast.AST) -> bool:
-        return (
-            isinstance(expr, ast.Call)
-            and isinstance(expr.func, ast.Attribute)
-            and expr.func.attr == "keys"
-            and not expr.args
-            and not expr.keywords
-        )
-
     def _check_iterable(self, expr: ast.AST) -> None:
-        reason = self._unordered_reason(expr)
+        reason = unordered_reason(expr, self._aliases)
         if reason is not None:
             self._report(
                 UNORDERED_ITERATION, expr,
@@ -438,6 +353,25 @@ class _LintVisitor(ast.NodeVisitor):
             self._check_iterable(node.args[0])
 
 
+def collect_findings(source: str, path: str = "<string>") -> List[Diagnostic]:
+    """Raw determinism findings for one source string — every rule, no
+    suppression/select/ignore filtering. The combined driver applies
+    those afterwards (it needs the raw set to spot stale allows)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Diagnostic(
+            code=SYNTAX.id,
+            message=f"could not parse: {error.msg}",
+            path=path,
+            line=error.lineno,
+            column=(error.offset or 1) - 1,
+        )]
+    visitor = _LintVisitor(path)
+    visitor.visit(tree)
+    return visitor.findings
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -452,27 +386,15 @@ def lint_source(
     """
     selected = _resolve_rule_set(select)
     ignored = _resolve_rule_set(ignore) or set()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        return [Diagnostic(
-            code=SYNTAX.id,
-            message=f"could not parse: {error.msg}",
-            path=path,
-            line=error.lineno,
-            column=(error.offset or 1) - 1,
-        )]
-    visitor = _LintVisitor(path)
-    visitor.visit(tree)
-    allowed = _parse_suppressions(source)
+    allowed = parse_suppressions(source)
     results: List[Diagnostic] = []
-    for finding in visitor.findings:
+    for finding in collect_findings(source, path):
         rule = LINT_RULES.get(finding.code)
         if selected is not None and rule.id not in selected:
             continue
         if rule.id in ignored:
             continue
-        if finding.line is not None and _suppressed(
+        if finding.line is not None and suppressed(
             allowed, finding.line, rule
         ):
             continue
@@ -509,19 +431,8 @@ def lint_paths(
     ignore: Optional[Iterable[str]] = None,
 ) -> List[Diagnostic]:
     """Lint files and/or directory trees (``*.py``, sorted order)."""
-    files: List[Path] = []
-    for entry in paths:
-        entry_path = Path(entry)
-        if entry_path.is_dir():
-            files.extend(sorted(entry_path.rglob("*.py")))
-        elif entry_path.is_file():
-            files.append(entry_path)
-        else:
-            raise AnalysisError(
-                f"no such file or directory: {entry_path}"
-            )
     findings: List[Diagnostic] = []
-    for file_path in files:
+    for file_path in iter_python_files(paths):
         findings.extend(
             lint_file(file_path, select=select, ignore=ignore)
         )
@@ -530,6 +441,7 @@ def lint_paths(
 
 __all__ = [
     "LINT_RULES",
+    "collect_findings",
     "lint_file",
     "lint_paths",
     "lint_source",

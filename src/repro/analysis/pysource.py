@@ -1,0 +1,306 @@
+"""Shared Python-source plumbing for the AST analyzers.
+
+The determinism linter (:mod:`repro.analysis.linter`) and the
+parallel-safety analyzer (:mod:`repro.analysis.parallel`) both walk
+Python ASTs and both honor the same in-source directives. This module
+holds the pieces they share:
+
+* :class:`Aliases` — import-binding resolution, so dotted call names
+  canonicalize (``np.random.rand`` -> ``numpy.random.rand``).
+* :func:`parse_suppressions` — ``# repro: allow[RULE]`` comments, by
+  line. Comments are found with :mod:`tokenize`, so an ``allow`` that
+  merely appears inside a string literal or docstring example is *not*
+  a suppression (and cannot go stale).
+* :func:`parse_pragmas` — the analyzer pragmas ``# repro:
+  worker-entry`` (marks a worker entry point for the shared-state
+  rules) and ``# repro: equivalence-sensitive`` (opts a module into the
+  reduction-order rules).
+* :func:`unordered_reason` — why an expression evaluates to a
+  hash-order-dependent collection (sets, set algebra), used by both
+  REPRO104 and the reduction-order rule REPRO403.
+* :func:`iter_python_files` — deterministic ``*.py`` traversal with
+  exclusions.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
+
+from repro.analysis.rules import AnalysisError, Rule
+
+#: The suppression directive: comment token "repro:" followed by
+#: "allow" with a bracketed rule list. Spelled out here (rather than
+#: quoted) so this very comment does not parse as a suppression.
+ALLOW_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[([^\]]*)\]", re.IGNORECASE
+)
+
+#: ``# repro: worker-entry`` — the function defined on (or right
+#: below) this line is a worker entry point.
+WORKER_ENTRY_PRAGMA = re.compile(
+    r"#\s*repro:\s*worker-entry\b", re.IGNORECASE
+)
+
+#: ``# repro: equivalence-sensitive`` — this module promises bit-
+#: identical reductions (see docs/performance.md) and opts into the
+#: REPRO4xx reduction-order rules.
+EQUIVALENCE_PRAGMA = re.compile(
+    r"#\s*repro:\s*equivalence-sensitive\b", re.IGNORECASE
+)
+
+
+def _comment_lines(source: str) -> List[tuple]:
+    """``(lineno, comment_text)`` for every comment token. Falls back
+    to a whole-line scan when the file does not tokenize (the linter
+    reports the syntax error separately)."""
+    comments: List[tuple] = []
+    try:
+        for token in tokenize.generate_tokens(
+            io.StringIO(source).readline
+        ):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = [
+            (lineno, line)
+            for lineno, line in enumerate(
+                source.splitlines(), start=1
+            )
+            if "#" in line
+        ]
+    return comments
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule tokens allowed there."""
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, comment in _comment_lines(source):
+        match = ALLOW_PATTERN.search(comment)
+        if match is None:
+            continue
+        tokens = {
+            token.strip()
+            for token in match.group(1).split(",")
+            if token.strip()
+        }
+        if tokens:
+            allowed[lineno] = tokens
+    return allowed
+
+
+class SourcePragmas:
+    """The analyzer pragmas of one source file."""
+
+    def __init__(
+        self,
+        worker_entry_lines: Set[int],
+        equivalence_sensitive: bool,
+    ) -> None:
+        self.worker_entry_lines = worker_entry_lines
+        self.equivalence_sensitive = equivalence_sensitive
+
+    def marks_worker_entry(self, node: ast.AST) -> bool:
+        """Whether a ``def`` carries a worker-entry pragma: on the
+        ``def`` line itself, or on any line from just above the first
+        decorator down to the ``def``."""
+        lineno = getattr(node, "lineno", None)
+        if lineno is None:
+            return False
+        first = lineno
+        for decorator in getattr(node, "decorator_list", []):
+            first = min(first, decorator.lineno)
+        span = range(first - 1, lineno + 1)
+        return any(
+            line in self.worker_entry_lines for line in span
+        )
+
+
+def parse_pragmas(source: str) -> SourcePragmas:
+    """Scan comments for worker-entry / equivalence-sensitive pragmas."""
+    entry_lines: Set[int] = set()
+    sensitive = False
+    for lineno, comment in _comment_lines(source):
+        if WORKER_ENTRY_PRAGMA.search(comment):
+            entry_lines.add(lineno)
+        if EQUIVALENCE_PRAGMA.search(comment):
+            sensitive = True
+    return SourcePragmas(entry_lines, sensitive)
+
+
+def suppressed(
+    allowed: Dict[int, Set[str]], lineno: int, rule: Rule
+) -> bool:
+    """Whether ``rule`` is allowed on ``lineno`` (id, name, or ``*``)."""
+    tokens = allowed.get(lineno)
+    if not tokens:
+        return False
+    return any(
+        token == "*"
+        or token.upper() == rule.id
+        or token.lower() == rule.name
+        for token in tokens
+    )
+
+
+class Aliases:
+    """Tracks import bindings so dotted call names resolve to their
+    canonical modules (``np.random.rand`` -> ``numpy.random.rand``,
+    ``from time import time as t; t()`` -> ``time.time``)."""
+
+    def __init__(self) -> None:
+        self._map: Dict[str, str] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname is not None:
+                self._map[alias.asname] = alias.name
+            else:
+                root = alias.name.split(".")[0]
+                self._map.setdefault(root, root)
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative import: never a stdlib entropy source
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            self._map[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, name: str) -> Optional[str]:
+        """The canonical dotted name an imported binding points at."""
+        return self._map.get(name)
+
+    def qualify(self, node: ast.AST) -> Optional[str]:
+        """Resolve an expression to a dotted name, or None if it is
+        not a plain name/attribute chain."""
+        if isinstance(node, ast.Name):
+            return self._map.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.qualify(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+def is_keys_view(expr: ast.AST) -> bool:
+    """``x.keys()`` — a view that participates in set algebra."""
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "keys"
+        and not expr.args
+        and not expr.keywords
+    )
+
+
+def unordered_reason(
+    expr: ast.AST, aliases: Aliases
+) -> Optional[str]:
+    """Why ``expr`` evaluates to an unordered collection, or None if
+    its order is well-defined (syntactically)."""
+    if isinstance(expr, ast.Set):
+        return "a set literal"
+    if isinstance(expr, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(expr, ast.Call):
+        name = aliases.qualify(expr.func)
+        if name in ("set", "frozenset"):
+            return f"{name}(...)"
+        if (
+            isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in ("union", "intersection",
+                                   "difference",
+                                   "symmetric_difference")
+            and unordered_reason(expr.func.value, aliases) is not None
+        ):
+            return f"a set .{expr.func.attr}(...) result"
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        left = unordered_reason(expr.left, aliases)
+        right = unordered_reason(expr.right, aliases)
+        keysish = is_keys_view(expr.left) or is_keys_view(expr.right)
+        if left is not None or right is not None or keysish:
+            return "a set-algebra result"
+    return None
+
+
+def iter_python_files(
+    paths: Sequence[Union[str, Path]],
+    *,
+    exclude: Iterable[Union[str, Path]] = (),
+) -> List[Path]:
+    """Expand files/directory trees to a sorted ``*.py`` list.
+
+    ``exclude`` drops files equal to, or below, any of the given
+    paths (directories exclude their whole subtree).
+    """
+    excluded = [Path(entry) for entry in exclude]
+
+    def keep(candidate: Path) -> bool:
+        resolved = candidate.resolve()
+        for entry in excluded:
+            anchor = entry.resolve()
+            if resolved == anchor or anchor in resolved.parents:
+                return False
+        return True
+
+    files: List[Path] = []
+    for entry in paths:
+        entry_path = Path(entry)
+        if entry_path.is_dir():
+            files.extend(
+                found
+                for found in sorted(entry_path.rglob("*.py"))
+                if keep(found)
+            )
+        elif entry_path.is_file():
+            if keep(entry_path):
+                files.append(entry_path)
+        else:
+            raise AnalysisError(
+                f"no such file or directory: {entry_path}"
+            )
+    return files
+
+
+def module_name_for(path: Union[str, Path]) -> str:
+    """Best-effort dotted module name for a source file: walk up
+    through package directories (those holding ``__init__.py``); a
+    file outside any package is just its stem."""
+    file_path = Path(path)
+    parts = [file_path.stem] if file_path.stem != "__init__" else []
+    parent = file_path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts:
+        parts = [file_path.stem]
+    return ".".join(parts)
+
+
+__all__ = [
+    "ALLOW_PATTERN",
+    "Aliases",
+    "SourcePragmas",
+    "is_keys_view",
+    "iter_python_files",
+    "module_name_for",
+    "parse_pragmas",
+    "parse_suppressions",
+    "suppressed",
+    "unordered_reason",
+]

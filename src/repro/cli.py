@@ -428,21 +428,34 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
-        LINT_RULES,
-        lint_paths,
+        check_sources,
+        has_errors,
         render_json,
         render_text,
     )
-    from repro.analysis.rules import AnalysisError
+    from repro.analysis.driver import all_rules
+    from repro.analysis.rules import FAMILIES, AnalysisError
 
     if args.list_rules:
-        print(format_table(
-            ("id", "name", "summary"),
-            [(rule.id, rule.name, rule.summary)
-             for rule in LINT_RULES],
-            title="determinism lint rules "
-                  "(suppress with '# repro: allow[ID]')",
-        ))
+        grouped: dict = {}
+        for rule in all_rules():
+            grouped.setdefault(rule.family, []).append(rule)
+        blocks = []
+        for family, description in FAMILIES.items():
+            rules = grouped.get(family)
+            if not rules:
+                continue
+            blocks.append(format_table(
+                ("id", "name", "summary"),
+                [(rule.id, rule.name, rule.summary)
+                 for rule in rules],
+                title=f"{family} — {description}",
+            ))
+        blocks.append(
+            "suppress a finding with '# repro: allow[ID]'; "
+            "--select/--ignore also accept family names"
+        )
+        print("\n\n".join(blocks))
         return 0
     paths = args.paths
     if not paths:
@@ -457,17 +470,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return [r.strip() for r in value.split(",") if r.strip()]
 
     try:
-        findings = lint_paths(
+        findings = check_sources(
             paths,
             select=split_rules(args.select),
             ignore=split_rules(args.ignore),
+            exclude=args.exclude or (),
         )
     except AnalysisError as error:
         print(f"lint error: {error}", file=sys.stderr)
         return 2
     renderer = render_json if args.format == "json" else render_text
     print(renderer(findings))
-    return 1 if findings else 0
+    return 1 if has_errors(findings) else 0
 
 
 def cmd_check_graph(args: argparse.Namespace) -> int:
@@ -823,7 +837,10 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.set_defaults(func=cmd_trace_summarize)
     lint = sub.add_parser(
         "lint",
-        help="determinism linter over Python sources",
+        help=(
+            "determinism + parallel-safety analyzers over Python "
+            "sources"
+        ),
     )
     lint.add_argument(
         "paths",
@@ -843,13 +860,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         default=None,
         metavar="RULES",
-        help="comma-separated rule ids/names to run exclusively",
+        help=(
+            "comma-separated rule ids/names or family names to run "
+            "exclusively"
+        ),
     )
     lint.add_argument(
         "--ignore",
         default=None,
         metavar="RULES",
-        help="comma-separated rule ids/names to skip",
+        help=(
+            "comma-separated rule ids/names or family names to skip"
+        ),
+    )
+    lint.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help=(
+            "skip files at or below PATH (repeatable; e.g. a "
+            "fixtures directory that is deliberately dirty)"
+        ),
     )
     lint.add_argument(
         "--list-rules",

@@ -11,6 +11,8 @@ Used in two places:
   backpressure limit.
 """
 
+# repro: equivalence-sensitive — scalar and batch water-fill must agree bit
+# for bit (REPRO4xx rules enforce sequential reductions here).
 from __future__ import annotations
 
 import math

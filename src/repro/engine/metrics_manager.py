@@ -33,6 +33,8 @@ pure-Python list-of-rows fallback keeps the manager usable without
 numpy.
 """
 
+# repro: equivalence-sensitive — object and vector accumulation paths must
+# agree bit for bit (REPRO4xx rules enforce sequential reductions here).
 from __future__ import annotations
 
 from dataclasses import replace

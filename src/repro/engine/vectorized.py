@@ -52,6 +52,8 @@ and by the golden-trace / chaos-scorecard byte-identity stages of
 ``scripts/check.sh`` running under ``REPRO_ENGINE=vector``.
 """
 
+# repro: equivalence-sensitive — bit-identity contract of docs/performance.md:
+# reductions here must stay sequential (REPRO4xx rules enforce this).
 from __future__ import annotations
 
 import math

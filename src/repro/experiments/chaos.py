@@ -245,6 +245,26 @@ class ChaosWorkload:
     ]
     global_scaling: bool = False
 
+    def __post_init__(self) -> None:
+        # Workload factories end up inside CampaignCellSpec and cross
+        # into pool workers under --jobs N; reject lambdas/closures at
+        # registration, not as a pickle traceback mid-campaign. The
+        # static counterpart is the REPRO2xx pickle-safety rules.
+        from repro.analysis.parallel import ensure_parallel_safe
+
+        for field_name in (
+            "graph_factory",
+            "runtime_factory",
+            "parallelism_factory",
+            "controllers_factory",
+        ):
+            ensure_parallel_safe(
+                getattr(self, field_name),
+                context=(
+                    f"ChaosWorkload {self.name!r} {field_name}"
+                ),
+            )
+
     def runner(
         self,
         tick: float,

@@ -682,6 +682,7 @@ class CampaignCellSpec:
         return (self.seed, self.campaign, self.controller)
 
 
+# repro: worker-entry
 def run_campaign_cell(spec: CampaignCellSpec) -> SasoScorecard:
     """Run one campaign cell and reduce it to a scorecard.
 
@@ -734,6 +735,7 @@ class _CellFailure:
     traceback: str
 
 
+# repro: worker-entry
 def _execute_cell_in_worker(
     index: int, spec: CampaignCellSpec
 ) -> Union[_CellSuccess, _CellFailure]:
@@ -901,6 +903,7 @@ class ParallelExecutor(CampaignExecutor):
         snapshots: Dict[int, Dict[str, object]],
     ) -> None:
         journal = self._checkpoint
+        self._ensure_submittable(specs, missing)
         workers = min(self._jobs, len(missing))
         pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=workers
@@ -960,6 +963,33 @@ class ParallelExecutor(CampaignExecutor):
             graceful = True
         finally:
             pool.shutdown(wait=graceful, cancel_futures=True)
+
+    @staticmethod
+    def _ensure_submittable(
+        specs: Sequence[CampaignCellSpec],
+        missing: Sequence[int],
+    ) -> None:
+        """Reject unpicklable controller factories *before* the pool
+        spins up — the construction-time mirror of ensure_valid_graph
+        (static counterpart: the REPRO2xx pickle-safety rules)."""
+        # Local import, same layering note as ensure_valid_graph in
+        # CampaignRunner: repro.analysis must stay importable without
+        # the faults stack.
+        from repro.analysis.parallel import ensure_parallel_safe
+        from repro.analysis.rules import AnalysisError
+
+        for index in missing:
+            spec = specs[index]
+            try:
+                ensure_parallel_safe(
+                    spec.controller_factory,
+                    context=(
+                        f"campaign cell {_cell_label(spec.key)} "
+                        "controller_factory"
+                    ),
+                )
+            except AnalysisError as error:
+                raise FaultInjectionError(str(error)) from error
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:

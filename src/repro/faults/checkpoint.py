@@ -842,6 +842,7 @@ class _AttemptFailure:
 _AttemptOutcome = Union[_AttemptSuccess, _AttemptFailure]
 
 
+# repro: worker-entry
 def supervised_cell_attempt(
     index: int,
     spec: CampaignCellSpec,
@@ -1090,6 +1091,24 @@ class SupervisedExecutor(CampaignExecutor):
         pending: Sequence[int],
         absorb: Callable[[_AttemptOutcome], None],
     ) -> None:
+        # Construction-time pickle check, mirroring ParallelExecutor:
+        # an unpicklable factory is a configuration error poisoning
+        # every cell, not a flaky cell to retry and quarantine.
+        from repro.analysis.parallel import ensure_parallel_safe
+        from repro.analysis.rules import AnalysisError
+
+        for index in pending:
+            try:
+                ensure_parallel_safe(
+                    specs[index].controller_factory,
+                    context=(
+                        f"campaign cell "
+                        f"{_cell_label(specs[index].key)} "
+                        "controller_factory"
+                    ),
+                )
+            except AnalysisError as error:
+                raise FaultInjectionError(str(error)) from error
         workers = min(self._jobs, len(pending))
         pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=workers

@@ -1,0 +1,29 @@
+"""Fixture: REPRO203 bound methods crossing a process boundary,
+flagged and suppressed."""
+
+from repro.faults.campaigns import CampaignCellSpec
+
+
+def _module_controller():
+    return object()
+
+
+class Builder:
+    def make_controller(self):
+        return object()
+
+    def flagged(self):
+        return CampaignCellSpec(controller_factory=self.make_controller)
+
+    @classmethod
+    def flagged_classmethod(cls):
+        return CampaignCellSpec(controller_factory=cls.make_controller)
+
+    def suppressed(self):
+        a = CampaignCellSpec(controller_factory=self.make_controller)  # repro: allow[REPRO203]
+        b = CampaignCellSpec(controller_factory=self.make_controller)  # repro: allow[bound-method-factory]
+        return a, b
+
+    def not_flagged(self):
+        # A module-level function does not capture the instance.
+        return CampaignCellSpec(controller_factory=_module_controller)

@@ -1,0 +1,27 @@
+"""Fixture: REPRO401 builtin sum() over an ndarray in an
+equivalence-sensitive module, flagged and suppressed."""
+
+# repro: equivalence-sensitive
+
+import numpy as np
+
+
+def flagged(block):
+    arr = np.asarray(block)
+    return sum(arr)
+
+
+def suppressed(block):
+    arr = np.asarray(block)
+    a = sum(arr)  # repro: allow[REPRO401]
+    b = sum(arr)  # repro: allow[builtin-sum-array]
+    return a, b
+
+
+def not_flagged(block):
+    # The contract's sequential sum: left to right over .tolist().
+    arr = np.asarray(block)
+    total = 0.0
+    for value in arr.tolist():
+        total += value
+    return total

@@ -1,0 +1,29 @@
+"""Fixture: REPRO201 lambdas crossing a process boundary, flagged
+and suppressed."""
+
+from repro.faults.campaigns import CampaignCellSpec
+
+module_lambda = lambda: None  # noqa: E731 — the point of the fixture
+
+
+def _controller():
+    return object()
+
+
+def flagged():
+    direct = CampaignCellSpec(controller_factory=lambda: None)
+    named = CampaignCellSpec(controller_factory=module_lambda)
+    local_lambda = lambda: None  # noqa: E731
+    bound = CampaignCellSpec(controller_factory=local_lambda)
+    return direct, named, bound
+
+
+def suppressed():
+    a = CampaignCellSpec(controller_factory=lambda: None)  # repro: allow[REPRO201]
+    b = CampaignCellSpec(controller_factory=module_lambda)  # repro: allow[lambda-factory]
+    return a, b
+
+
+def not_flagged():
+    # A module-level function pickles by qualified name.
+    return CampaignCellSpec(controller_factory=_controller)

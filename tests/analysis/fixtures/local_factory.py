@@ -1,0 +1,34 @@
+"""Fixture: REPRO202 locally-defined callables crossing a process
+boundary, flagged and suppressed."""
+
+from repro.faults.campaigns import CampaignCellSpec
+
+
+def _module_controller():
+    return object()
+
+
+def flagged():
+    def local_controller():
+        return object()
+
+    class LocalController:
+        pass
+
+    a = CampaignCellSpec(controller_factory=local_controller)
+    b = CampaignCellSpec(controller_factory=LocalController)
+    return a, b
+
+
+def suppressed():
+    def local_controller():
+        return object()
+
+    a = CampaignCellSpec(controller_factory=local_controller)  # repro: allow[REPRO202]
+    b = CampaignCellSpec(controller_factory=local_controller)  # repro: allow[local-factory]
+    return a, b
+
+
+def not_flagged():
+    # Module-level callables import cleanly in the worker.
+    return CampaignCellSpec(controller_factory=_module_controller)

@@ -1,0 +1,34 @@
+"""Fixture: REPRO402 pairwise/compensated reductions in an
+equivalence-sensitive module, flagged and suppressed."""
+
+# repro: equivalence-sensitive
+
+import math
+
+import numpy as np
+
+
+def flagged(block):
+    arr = np.asarray(block)
+    a = np.sum(arr)
+    b = math.fsum(arr)
+    c = arr.sum()
+    return a, b, c
+
+
+def suppressed(block):
+    arr = np.asarray(block)
+    a = np.sum(arr)  # repro: allow[REPRO402]
+    b = arr.sum()  # repro: allow[pairwise-reduction]
+    return a, b
+
+
+def not_flagged(block):
+    # np.cumsum is sequential by definition, and a Python loop over
+    # .tolist() is the contract's oracle ordering.
+    arr = np.asarray(block)
+    running = np.cumsum(arr)
+    total = 0.0
+    for value in arr.tolist():
+        total += value
+    return running, total

@@ -1,0 +1,34 @@
+"""Fixture: REPRO403 accumulation across a set-ordered loop in an
+equivalence-sensitive module, flagged and suppressed.
+
+(The loop headers themselves also trip the determinism linter's
+REPRO104 — same hazard seen from the other side.)
+"""
+
+# repro: equivalence-sensitive
+
+
+def flagged(weights):
+    total = 0.0
+    for key in {"a", "b", "c"}:
+        total += weights[key]
+    product = 1.0
+    for key in set(weights):
+        product = product * weights[key]
+    return total, product
+
+
+def suppressed(weights):
+    total = 0.0
+    for key in {"a", "b"}:  # repro: allow[REPRO104]
+        total += weights[key]  # repro: allow[REPRO403]
+        total += weights[key]  # repro: allow[set-order-accumulation]
+    return total
+
+
+def not_flagged(weights):
+    # Sorting the keys pins the fold order.
+    total = 0.0
+    for key in sorted(weights):
+        total += weights[key]
+    return total

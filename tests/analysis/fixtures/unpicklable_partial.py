@@ -1,0 +1,41 @@
+"""Fixture: REPRO204 partials wrapping unpicklable values, flagged
+and suppressed."""
+
+from functools import partial
+
+from repro.faults.campaigns import CampaignCellSpec
+
+
+def _make_controller(kind):
+    return kind
+
+
+def flagged():
+    wrapped_lambda = CampaignCellSpec(
+        controller_factory=partial(_make_controller, lambda: None)
+    )
+
+    def local_kind():
+        return object()
+
+    wrapped_local = CampaignCellSpec(
+        controller_factory=partial(_make_controller, local_kind)
+    )
+    return wrapped_lambda, wrapped_local
+
+
+def suppressed():
+    ok = CampaignCellSpec(
+        controller_factory=partial(_make_controller, lambda: None)  # repro: allow[REPRO204]
+    )
+    also = CampaignCellSpec(
+        controller_factory=partial(_make_controller, lambda: None)  # repro: allow[unpicklable-partial]
+    )
+    return ok, also
+
+
+def not_flagged():
+    # partial over module-level callables and plain data pickles fine.
+    return CampaignCellSpec(
+        controller_factory=partial(_make_controller, "ds2")
+    )

@@ -1,0 +1,31 @@
+"""Fixture: REPRO303 class-attribute writes reachable from a worker
+entry, flagged and suppressed."""
+
+
+class Tally:
+    count = 0
+
+    # repro: worker-entry
+    @classmethod
+    def flagged_method(cls, spec):
+        cls.count = spec
+
+
+# repro: worker-entry
+def flagged(spec):
+    Tally.count = spec
+    Tally.count += 1
+
+
+# repro: worker-entry
+def suppressed(spec):
+    Tally.count = spec  # repro: allow[REPRO303]
+    Tally.count += 1  # repro: allow[worker-class-state]
+
+
+# repro: worker-entry
+def not_flagged(spec):
+    # Instance state is per-object and per-worker by construction.
+    tally = Tally()
+    tally.count = spec
+    return tally

@@ -1,0 +1,33 @@
+"""Fixture: REPRO301 global assignment reachable from a worker entry,
+flagged and suppressed."""
+
+_TOTAL = 0.0
+_LAST = None
+
+
+# repro: worker-entry
+def flagged(spec):
+    global _TOTAL
+    _TOTAL = _TOTAL + spec
+    _helper(spec)
+
+
+def _helper(spec):
+    # Not itself an entry point: flagged because flagged() reaches it.
+    global _LAST
+    _LAST = spec
+
+
+# repro: worker-entry
+def suppressed(spec):
+    global _TOTAL
+    _TOTAL = spec  # repro: allow[REPRO301]
+    _TOTAL += spec  # repro: allow[worker-global-write]
+
+
+# repro: worker-entry
+def not_flagged(spec):
+    # Thread state through locals and return values instead.
+    total = 0.0
+    total += spec
+    return total

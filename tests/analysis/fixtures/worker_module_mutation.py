@@ -1,0 +1,34 @@
+"""Fixture: REPRO302 module-container mutation reachable from a
+worker entry, flagged and suppressed."""
+
+_RESULTS = []
+_INDEX = {}
+
+
+# repro: worker-entry
+def flagged(spec):
+    _RESULTS.append(spec)
+    _INDEX[spec] = 1
+    _chain(spec)
+
+
+def _chain(spec):
+    # Not itself an entry point: flagged because flagged() reaches it.
+    _RESULTS.extend([spec])
+
+
+# repro: worker-entry
+def suppressed(spec):
+    _RESULTS.append(spec)  # repro: allow[REPRO302]
+    _INDEX[spec] = 1  # repro: allow[worker-module-mutation]
+
+
+# repro: worker-entry
+def not_flagged(spec):
+    # Locals (including a shadowing rebind) are worker-private by
+    # design; mutating them is fine.
+    results = []
+    results.append(spec)
+    _INDEX = {}
+    _INDEX[spec] = 1
+    return results, _INDEX

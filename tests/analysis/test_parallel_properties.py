@@ -1,0 +1,151 @@
+"""Property tests for the parallel-safety analyzer.
+
+Two invariants, exercised over generated program shapes:
+
+* worker-unsafe snippets (lambda factories into a process-boundary
+  sink, module-global writes reachable from a worker entry, builtin
+  reductions over arrays in equivalence-sensitive code) are ALWAYS
+  flagged, whatever the surrounding identifiers look like; and
+* the same snippet with a ``# repro: allow[...]`` on the finding line
+  is NEVER flagged.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_parallel_source
+
+# Identifier soup: safe (non-keyword) bases plus a numeric suffix so
+# shrinking still lands on valid Python.
+_BASES = ("worker", "run_cell", "execute", "score", "drain", "probe")
+_idents = st.builds(
+    "{}_{}".format, st.sampled_from(_BASES), st.integers(0, 99)
+)
+_globals = st.builds(
+    "_{}_{}".format,
+    st.sampled_from(("TOTAL", "CACHE", "RESULTS", "SEEN")),
+    st.integers(0, 99),
+)
+
+
+def _codes(source):
+    return {f.code for f in check_parallel_source(source)}
+
+
+class TestPickleSafetyProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(func=_idents, alias=st.booleans())
+    def test_lambda_factory_always_flagged(self, func, alias):
+        factory = "bad_factory" if alias else "lambda: None"
+        prelude = "bad_factory = lambda: None\n\n" if alias else ""
+        source = (
+            "from repro.faults.campaigns import CampaignCellSpec\n\n"
+            f"{prelude}"
+            f"def {func}():\n"
+            "    return CampaignCellSpec("
+            f"controller_factory={factory})\n"
+        )
+        assert _codes(source) == {"REPRO201"}
+
+    @settings(max_examples=50, deadline=None)
+    @given(func=_idents)
+    def test_allowed_lambda_factory_never_flagged(self, func):
+        source = (
+            "from repro.faults.campaigns import CampaignCellSpec\n\n"
+            f"def {func}():\n"
+            "    return CampaignCellSpec(controller_factory="
+            "lambda: None)  # repro: allow[REPRO201]\n"
+        )
+        assert _codes(source) == set()
+
+
+class TestWorkerSharedStateProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        entry=_idents,
+        name=_globals,
+        value=st.integers(-1000, 1000),
+        via_helper=st.booleans(),
+    )
+    def test_global_write_always_flagged(
+        self, entry, name, value, via_helper
+    ):
+        write = f"    global {name}\n    {name} = {value}\n"
+        if via_helper:
+            body = f"    {entry}_helper(spec)\n"
+            helper = f"def {entry}_helper(spec):\n{write}\n"
+        else:
+            body = write
+            helper = ""
+        source = (
+            f"{name} = 0\n\n"
+            "# repro: worker-entry\n"
+            f"def {entry}(spec):\n{body}\n"
+            f"{helper}"
+        )
+        assert _codes(source) == {"REPRO301"}
+
+    @settings(max_examples=50, deadline=None)
+    @given(entry=_idents, name=_globals, value=st.integers(-1000, 1000))
+    def test_allowed_global_write_never_flagged(self, entry, name, value):
+        source = (
+            f"{name} = 0\n\n"
+            "# repro: worker-entry\n"
+            f"def {entry}(spec):\n"
+            f"    global {name}\n"
+            f"    {name} = {value}  # repro: allow[REPRO301]\n"
+        )
+        assert _codes(source) == set()
+
+    @settings(max_examples=50, deadline=None)
+    @given(entry=_idents, name=_globals, value=st.integers(-1000, 1000))
+    def test_local_write_never_flagged(self, entry, name, value):
+        # Same shape, but the write targets a local: worker-private
+        # state is exactly what the rule must not flag.
+        source = (
+            f"{name} = 0\n\n"
+            "# repro: worker-entry\n"
+            f"def {entry}(spec):\n"
+            f"    local_{name} = {value}\n"
+            f"    return local_{name}\n"
+        )
+        assert _codes(source) == set()
+
+
+class TestReductionOrderProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(func=_idents, arr=_idents)
+    def test_builtin_sum_over_array_always_flagged(self, func, arr):
+        source = (
+            "# repro: equivalence-sensitive\n"
+            "import numpy as np\n\n"
+            f"def {func}(block):\n"
+            f"    {arr} = np.asarray(block)\n"
+            f"    return sum({arr})\n"
+        )
+        assert _codes(source) == {"REPRO401"}
+
+    @settings(max_examples=50, deadline=None)
+    @given(func=_idents, arr=_idents)
+    def test_allowed_sum_never_flagged(self, func, arr):
+        source = (
+            "# repro: equivalence-sensitive\n"
+            "import numpy as np\n\n"
+            f"def {func}(block):\n"
+            f"    {arr} = np.asarray(block)\n"
+            f"    return sum({arr})  # repro: allow[REPRO401]\n"
+        )
+        assert _codes(source) == set()
+
+    @settings(max_examples=50, deadline=None)
+    @given(func=_idents, arr=_idents)
+    def test_sum_outside_sensitive_module_never_flagged(self, func, arr):
+        # Without the pragma the module is not equivalence-sensitive
+        # and REPRO4xx must stay silent.
+        source = (
+            "import numpy as np\n\n"
+            f"def {func}(block):\n"
+            f"    {arr} = np.asarray(block)\n"
+            f"    return sum({arr})\n"
+        )
+        assert _codes(source) == set()

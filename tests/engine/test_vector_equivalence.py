@@ -90,7 +90,7 @@ def assert_backends_identical(make_sim, ticks, rescale=None, fail=None):
     traces = []
     for backend in ("object", "vector"):
         # Identical jitter streams for both backends.
-        random.seed(20180621)
+        random.seed(20180621)  # repro: allow[REPRO102] — deliberate: same jitter both backends
         traces.append(
             run_campaign(make_sim(backend), ticks, rescale, fail)
         )

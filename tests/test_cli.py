@@ -235,8 +235,53 @@ class TestLintCommand:
             "REPRO103",
             "REPRO104",
             "REPRO105",
+            "REPRO201",
+            "REPRO301",
+            "REPRO401",
+            "REPRO501",
         ):
             assert code in out
+
+    def test_list_rules_groups_by_family(self, capsys):
+        main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        for family in (
+            "determinism",
+            "pickle-safety",
+            "worker-shared-state",
+            "reduction-order",
+            "suppressions",
+        ):
+            assert family in out
+
+    def test_parallel_rules_fire_through_cli(self, capsys):
+        path = FIXTURES / "lambda_factory.py"
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO201" in out
+        assert "lambda_factory.py" in out
+
+    def test_select_accepts_family_names(self, capsys):
+        path = str(FIXTURES / "lambda_factory.py")
+        assert main(["lint", "--select", "worker-shared-state", path]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--select", "pickle-safety", path]) == 1
+        assert "REPRO201" in capsys.readouterr().out
+
+    def test_exclude_skips_subtree(self, capsys):
+        assert main(["lint", str(FIXTURES)]) == 1
+        capsys.readouterr()
+        assert main(
+            ["lint", "--exclude", str(FIXTURES), str(FIXTURES)]
+        ) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_stale_allow_warnings_do_not_fail_the_run(self, capsys):
+        path = FIXTURES / "stale_allow.py"
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO501" in out
+        assert "warning" in out
 
 
 class TestCheckGraphCommand:
