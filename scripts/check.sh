@@ -22,8 +22,12 @@
 #   8. kill-and-resume equivalence
 #                    - hard-killed chaos run resumed from its journal
 #                      must match an uninterrupted run byte-for-byte
-#   9. pytest        - tier-1 test suite
-#  10. pytest (REPRO_ENGINE=vector)
+#   9. run report (golden file)
+#                    - `repro report` over the committed smoke-campaign
+#                      journal must render byte-identical JSON to the
+#                      committed golden report
+#  10. pytest        - tier-1 test suite
+#  11. pytest (REPRO_ENGINE=vector)
 #                    - the same tier-1 suite on the struct-of-arrays
 #                      engine backend; passing both proves the golden
 #                      trace / scorecard byte-identity oracle holds for
@@ -32,7 +36,7 @@
 # ruff and mypy are optional dev dependencies (`pip install -e .[lint]`).
 # When they are missing the stage is skipped with a notice rather than
 # failing, so the gate is usable in minimal containers; the in-tree
-# stages (3-6) have no third-party dependencies and always run.
+# stages (3-9) have no third-party dependencies and always run.
 
 set -u
 
@@ -109,6 +113,16 @@ run_stage "parallel chaos equivalence (smoke)" \
 # uninterrupted run (serial and process-pool).
 run_stage "kill-and-resume equivalence (smoke)" \
     python -m pytest -q tests/faults/test_checkpoint.py -k kill_and_resume
+# Run-report gate: the aggregated report over the committed
+# smoke-campaign journal must stay byte-identical to the committed
+# golden JSON. Cheap (<1s), so it runs even with --fast.
+check_golden_report() {
+    python -m repro report \
+        --checkpoint tests/reports/smoke_checkpoint.jsonl \
+        --format json \
+        | diff -u tests/reports/golden_report.json -
+}
+run_stage "run report (golden file)" check_golden_report
 
 if [ "$FAST" -eq 1 ]; then
     skip_stage "pytest" "--fast"

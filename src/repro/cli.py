@@ -9,14 +9,19 @@ Commands:
   trace of the run; ``--telemetry`` prints the runtime metrics
   registry afterwards. For ``chaos``, ``--checkpoint FILE`` journals
   every completed cell durably (retry/quarantine supervision included)
-  and ``--resume`` continues an interrupted run byte-identically.
+  and ``--resume`` continues an interrupted run byte-identically;
+  ``--progress`` renders live cell progress on stderr and ``--spans
+  FILE`` writes a span profile of the run's hot phases.
 * ``decide`` — one-shot DS2 sizing of the Heron wordcount (the §5.2
   headline, in two seconds), with the per-operator Eq. 7/8 traversal.
 * ``explain`` — render a scaling-decision audit: the one-shot sizing
   by default, or any decision recorded in a trace (``--trace FILE
   --index N``).
 * ``trace summarize FILE`` — validate a JSONL trace and print its
-  headline numbers.
+  headline numbers (including ring-buffer drops when truncated).
+* ``report --checkpoint FILE`` — join a chaos run's durable artifacts
+  (scorecards, decision audits, per-cell durations, heartbeats, span
+  rollups) into one text/JSON/markdown summary.
 * ``lint [paths]`` — the determinism linter over Python sources
   (defaults to the installed ``repro`` package); non-zero exit on
   violations, so CI can gate on it.
@@ -169,6 +174,7 @@ def _run_chaos(
     jobs: Optional[int] = None,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    progress: Optional[object] = None,
 ) -> str:
     from repro.experiments.chaos import chaos_report, run_chaos
 
@@ -184,6 +190,7 @@ def _run_chaos(
         jobs=jobs,
         checkpoint=checkpoint,
         resume=resume,
+        progress=progress,  # type: ignore[arg-type]
     )
     return chaos_report(result)
 
@@ -266,6 +273,8 @@ def _chaos_resume_command(args: argparse.Namespace) -> str:
         parts.append(f"--workload {args.workload}")
     if getattr(args, "jobs", None) is not None:
         parts.append(f"--jobs {args.jobs}")
+    if getattr(args, "progress", False):
+        parts.append("--progress")
     parts.append(f"--checkpoint {args.checkpoint}")
     parts.append("--resume")
     return " ".join(parts)
@@ -280,6 +289,7 @@ def _execute_run(
     seeds: Optional[int],
     workload: Optional[str] = None,
     jobs: Optional[int] = None,
+    progress: Optional[object] = None,
 ) -> int:
     """Dispatch one (already validated) experiment and print its rows."""
     if experiment == "chaos":
@@ -300,6 +310,7 @@ def _execute_run(
                     jobs=jobs,
                     checkpoint=checkpoint,
                     resume=bool(getattr(args, "resume", False)),
+                    progress=progress,
                 )
             )
         except CheckpointError as error:
@@ -388,40 +399,89 @@ def cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    show_progress = bool(getattr(args, "progress", False))
+    if show_progress and experiment != "chaos":
+        print(
+            "--progress only applies to the 'chaos' experiment",
+            file=sys.stderr,
+        )
+        return 2
     trace_path = getattr(args, "trace", None)
+    spans_path = getattr(args, "spans", None)
     telemetry = bool(getattr(args, "telemetry", False))
-    if trace_path is None and not telemetry:
+    if (
+        trace_path is None
+        and spans_path is None
+        and not telemetry
+        and not show_progress
+    ):
         return _execute_run(
             args, experiment, runner, faults, profile, seeds,
             workload, jobs,
         )
-    # Activate an unbounded tracer (a CLI run is finite; nothing
-    # should be evicted from the flight recorder) and a fresh metrics
-    # registry for the duration of the run.
-    from repro.telemetry import (
-        MetricsRegistry,
-        Tracer,
-        metering,
-        tracing,
-    )
+    import contextlib
 
-    tracer = Tracer(capacity=None)
-    registry = MetricsRegistry()
-    with tracing(tracer), metering(registry):
+    # The progress renderer writes only to stderr, so stdout (the
+    # golden experiment report) is byte-identical with or without it.
+    progress = None
+    if show_progress:
+        from repro.telemetry.progress import make_progress_renderer
+
+        progress = make_progress_renderer(sys.stderr)
+    profiler = None
+    tracer = None
+    registry = None
+    with contextlib.ExitStack() as stack:
+        if spans_path is not None:
+            from repro.telemetry.spans import SpanProfiler, profiling
+
+            profiler = SpanProfiler()
+            stack.enter_context(profiling(profiler))
+        if trace_path is not None or telemetry:
+            # Activate an unbounded tracer (a CLI run is finite;
+            # nothing should be evicted from the flight recorder) and
+            # a fresh metrics registry for the duration of the run.
+            from repro.telemetry import (
+                MetricsRegistry,
+                Tracer,
+                metering,
+                tracing,
+            )
+
+            tracer = Tracer(capacity=None)
+            registry = MetricsRegistry()
+            stack.enter_context(tracing(tracer))
+            stack.enter_context(metering(registry))
+        if progress is not None:
+            stack.callback(progress.close)
         code = _execute_run(
             args, experiment, runner, faults, profile, seeds,
-            workload, jobs,
+            workload, jobs, progress,
         )
     if code != 0:
         return code
-    if trace_path is not None:
+    if spans_path is not None and profiler is not None:
+        import json
+
+        try:
+            with open(spans_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    profiler.to_dict(), handle,
+                    indent=2, sort_keys=True,
+                )
+                handle.write("\n")
+        except OSError as error:
+            print(f"cannot write spans: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote span profile to {spans_path}")
+    if trace_path is not None and tracer is not None:
         try:
             count = tracer.write_jsonl(trace_path)
         except OSError as error:
             print(f"cannot write trace: {error}", file=sys.stderr)
             return 2
         print(f"wrote {count} trace events to {trace_path}")
-    if telemetry:
+    if telemetry and registry is not None:
         print(registry.render_text())
     return 0
 
@@ -667,9 +727,40 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
         payload = dataclasses.asdict(summary)
         payload["kinds"] = dict(summary.kinds)
         payload["span"] = summary.span
+        payload["dropped"] = summary.dropped
         print(json.dumps(payload, indent=2, sort_keys=True))
+        if summary.dropped > 0:
+            print(
+                f"warning: truncated trace — the ring buffer "
+                f"dropped the first {summary.dropped} event(s)",
+                file=sys.stderr,
+            )
     else:
         print(render_trace_summary(summary))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.errors import CheckpointError, TelemetryError
+    from repro.telemetry.reports import (
+        REPORT_RENDERERS,
+        build_report,
+    )
+
+    try:
+        report = build_report(
+            args.checkpoint, trace=getattr(args, "trace", None)
+        )
+    except CheckpointError as error:
+        print(f"unusable checkpoint: {error}", file=sys.stderr)
+        return 2
+    except TelemetryError as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot read artifacts: {error}", file=sys.stderr)
+        return 2
+    sys.stdout.write(REPORT_RENDERERS[args.format](report))
     return 0
 
 
@@ -791,6 +882,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the runtime metrics registry after the run",
     )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        default=False,
+        help=(
+            "live progress for the 'chaos' experiment on stderr: "
+            "cells done/total, ETA, per-worker activity, stall "
+            "warnings (stdout stays byte-identical)"
+        ),
+    )
+    run.add_argument(
+        "--no-progress",
+        action="store_false",
+        dest="progress",
+        help="disable live progress (the default)",
+    )
+    run.add_argument(
+        "--spans",
+        default=None,
+        metavar="FILE",
+        help=(
+            "profile the run's hot phases (tick, window fire, "
+            "allocation, metrics, decide, fault fire, checkpoint "
+            "fsync) and write the span tree as JSON to FILE"
+        ),
+    )
     run.set_defaults(func=cmd_run)
     sub.add_parser(
         "decide", help="one-shot DS2 sizing of the Heron wordcount"
@@ -835,6 +952,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     summarize.set_defaults(func=cmd_trace_summarize)
+    report = sub.add_parser(
+        "report",
+        help=(
+            "aggregate a chaos run's durable artifacts into one "
+            "summary (scorecards, decisions, durations, heartbeats, "
+            "span rollups)"
+        ),
+    )
+    report.add_argument(
+        "--checkpoint",
+        required=True,
+        metavar="FILE",
+        help="the run's checkpoint journal (from run chaos --checkpoint)",
+    )
+    report.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="optional JSONL trace to fold into the summary",
+    )
+    report.add_argument(
+        "--format",
+        choices=("text", "json", "markdown"),
+        default="text",
+        help="report format (default: text)",
+    )
+    report.set_defaults(func=cmd_report)
     lint = sub.add_parser(
         "lint",
         help=(

@@ -42,6 +42,7 @@ from repro.telemetry.audit import (
     finalize_audit,
 )
 from repro.telemetry.registry import active_registry
+from repro.telemetry.spans import SpanProfiler, active_profiler
 from repro.telemetry.tracer import Tracer, active_tracer
 
 if TYPE_CHECKING:  # import-cycle guard: repository imports metrics only
@@ -240,6 +241,7 @@ class ControlLoop:
         self._repository = repository
         self._retry = retry
         self._tracer = tracer if tracer is not None else active_tracer()
+        self._profiler: SpanProfiler = active_profiler()
         self._audit_enabled = audit
         self._m_decisions = active_registry().counter(
             "repro_controller_decisions_total",
@@ -286,43 +288,50 @@ class ControlLoop:
         return self._repository
 
     def _invoke_policy(self) -> None:
-        window = self._sim.collect_metrics()
-        self.result.windows.append(window)
-        if self._repository is not None:
-            self._repository.report(window)
-        observation = Observation(
-            time=self._sim.time,
-            window=window,
-            source_target_rates=self._sim.source_target_rates(),
-            current_parallelism=self._sim.plan.parallelism,
-            backpressured=self._sim.backpressured_operators(),
-            in_outage=self._sim.in_outage,
-            graph=self._sim.graph,
-        )
-        desired = self._controller.on_metrics(observation)
-        self.result.decisions.append((self._sim.time, desired))
-        self._m_window_age.set(
-            max(0.0, self._sim.time - window.end),
-            controller=self._controller.name,
-        )
-        audit: Optional[DecisionAudit] = None
-        if self._audit_enabled:
-            audit = build_decision_audit(
-                observation, desired, self._controller
+        profiled = self._profiler.enabled
+        if profiled:
+            self._profiler.enter("controller.decide")
+        try:
+            window = self._sim.collect_metrics()
+            self.result.windows.append(window)
+            if self._repository is not None:
+                self._repository.report(window)
+            observation = Observation(
+                time=self._sim.time,
+                window=window,
+                source_target_rates=self._sim.source_target_rates(),
+                current_parallelism=self._sim.plan.parallelism,
+                backpressured=self._sim.backpressured_operators(),
+                in_outage=self._sim.in_outage,
+                graph=self._sim.graph,
             )
-        if self._sim.in_outage:
-            self._finish_decision(audit, "skipped", reason="outage")
-            return
-        requested, attempt = self._select_request(desired)
-        if requested is None:
-            if audit is not None and audit.skip_reason is not None:
-                self._finish_decision(audit, "skipped")
-            elif self._pending_retry is not None:
-                self._finish_decision(audit, "backoff-wait")
-            else:
-                self._finish_decision(audit, "hold")
-            return
-        self._attempt_rescale(requested, attempt, audit)
+            desired = self._controller.on_metrics(observation)
+            self.result.decisions.append((self._sim.time, desired))
+            self._m_window_age.set(
+                max(0.0, self._sim.time - window.end),
+                controller=self._controller.name,
+            )
+            audit: Optional[DecisionAudit] = None
+            if self._audit_enabled:
+                audit = build_decision_audit(
+                    observation, desired, self._controller
+                )
+            if self._sim.in_outage:
+                self._finish_decision(audit, "skipped", reason="outage")
+                return
+            requested, attempt = self._select_request(desired)
+            if requested is None:
+                if audit is not None and audit.skip_reason is not None:
+                    self._finish_decision(audit, "skipped")
+                elif self._pending_retry is not None:
+                    self._finish_decision(audit, "backoff-wait")
+                else:
+                    self._finish_decision(audit, "hold")
+                return
+            self._attempt_rescale(requested, attempt, audit)
+        finally:
+            if profiled:
+                self._profiler.exit("controller.decide")
 
     def _finish_decision(
         self,

@@ -44,6 +44,7 @@ from repro.dataflow.physical import InstanceId
 from repro.engine.npcompat import HAVE_NUMPY, FloatArray, np
 from repro.errors import MetricsError
 from repro.metrics import InstanceCounters, MetricsWindow, OperatorHealth
+from repro.telemetry.spans import SpanProfiler, active_profiler
 from repro.telemetry.tracer import Tracer, active_tracer
 
 # Accumulator columns.
@@ -59,6 +60,7 @@ class MetricsManager:
         tracer: Optional[Tracer] = None,
     ) -> None:
         self._tracer = tracer if tracer is not None else active_tracer()
+        self._profiler: SpanProfiler = active_profiler()
         self._window_start = start_time
         self._now = start_time
         self._outage_time = 0.0
@@ -269,75 +271,82 @@ class MetricsManager:
         are held, not reset, so they deliver a catch-up report spanning
         several windows once suppression lifts.
         """
-        duration = self._now - self._window_start
-        instances: Dict[InstanceId, InstanceCounters] = {}
-        for row_index, iid in enumerate(self._ids):
-            if iid in self._suppressed:
-                continue
-            row = self._acc[row_index]
-            if HAVE_NUMPY:
-                pulled, pushed, useful, waiting, observed = row.tolist()
-            else:
-                pulled, pushed, useful, waiting, observed = row
-            # Clamp float accumulation drift so that Wu <= W holds.
-            useful = min(useful, observed)
-            instances[iid] = InstanceCounters(
-                records_pulled=pulled,
-                records_pushed=pushed,
-                useful_time=useful,
-                waiting_time=waiting,
-                observed_time=observed,
-            )
-        completeness = self.completeness()
-        registered_parallelism: Dict[str, int] = {}
-        for iid in self._ids:
-            registered_parallelism[iid.operator] = (
-                registered_parallelism.get(iid.operator, 0) + 1
-            )
-        merged_health: Dict[str, OperatorHealth] = {}
-        for name, entry in (health or {}).items():
-            merged_health[name] = replace(
-                entry, completeness=completeness.get(name, 1.0)
-            )
-        window = MetricsWindow(
-            start=self._window_start,
-            end=self._now,
-            instances=instances,
-            health=merged_health,
-            source_observed_rates=dict(source_observed_rates or {}),
-            outage_fraction=(
-                min(1.0, self._outage_time / duration)
-                if duration > 0
-                else 0.0
-            ),
-            completeness=completeness,
-            registered_parallelism=registered_parallelism,
-            truncated=self._truncated,
-        )
-        if self._tracer.enabled:
-            self._tracer.emit(
-                "metrics.collect",
-                self._now,
+        profiled = self._profiler.enabled
+        if profiled:
+            self._profiler.enter("metrics.collect")
+        try:
+            duration = self._now - self._window_start
+            instances: Dict[InstanceId, InstanceCounters] = {}
+            for row_index, iid in enumerate(self._ids):
+                if iid in self._suppressed:
+                    continue
+                row = self._acc[row_index]
+                if HAVE_NUMPY:
+                    pulled, pushed, useful, waiting, observed = row.tolist()
+                else:
+                    pulled, pushed, useful, waiting, observed = row
+                # Clamp float accumulation drift so that Wu <= W holds.
+                useful = min(useful, observed)
+                instances[iid] = InstanceCounters(
+                    records_pulled=pulled,
+                    records_pushed=pushed,
+                    useful_time=useful,
+                    waiting_time=waiting,
+                    observed_time=observed,
+                )
+            completeness = self.completeness()
+            registered_parallelism: Dict[str, int] = {}
+            for iid in self._ids:
+                registered_parallelism[iid.operator] = (
+                    registered_parallelism.get(iid.operator, 0) + 1
+                )
+            merged_health: Dict[str, OperatorHealth] = {}
+            for name, entry in (health or {}).items():
+                merged_health[name] = replace(
+                    entry, completeness=completeness.get(name, 1.0)
+                )
+            window = MetricsWindow(
                 start=self._window_start,
-                duration=duration,
-                instances=len(instances),
-                suppressed=len(self._suppressed),
-                truncated=self._truncated,
-                outage_fraction=window.outage_fraction,
-                min_completeness=(
-                    min(completeness.values()) if completeness else 1.0
+                end=self._now,
+                instances=instances,
+                health=merged_health,
+                source_observed_rates=dict(source_observed_rates or {}),
+                outage_fraction=(
+                    min(1.0, self._outage_time / duration)
+                    if duration > 0
+                    else 0.0
                 ),
+                completeness=completeness,
+                registered_parallelism=registered_parallelism,
+                truncated=self._truncated,
             )
-        self._window_start = self._now
-        self._outage_time = 0.0
-        self._truncated = False
-        for row_index, iid in enumerate(self._ids):
-            if iid in self._suppressed:
-                continue
-            row = self._acc[row_index]
-            row[_PULLED] = row[_PUSHED] = 0.0
-            row[_USEFUL] = row[_WAITING] = row[_OBSERVED] = 0.0
-        return window
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "metrics.collect",
+                    self._now,
+                    start=self._window_start,
+                    duration=duration,
+                    instances=len(instances),
+                    suppressed=len(self._suppressed),
+                    truncated=self._truncated,
+                    outage_fraction=window.outage_fraction,
+                    min_completeness=(
+                        min(completeness.values()) if completeness else 1.0
+                    ),
+                )
+            self._window_start = self._now
+            self._outage_time = 0.0
+            self._truncated = False
+            for row_index, iid in enumerate(self._ids):
+                if iid in self._suppressed:
+                    continue
+                row = self._acc[row_index]
+                row[_PULLED] = row[_PUSHED] = 0.0
+                row[_USEFUL] = row[_WAITING] = row[_OBSERVED] = 0.0
+            return window
+        finally:
+            if profiled:
+                self._profiler.exit("metrics.collect")
 
 
 __all__ = ["MetricsManager"]

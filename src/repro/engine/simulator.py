@@ -53,6 +53,7 @@ from repro.telemetry.registry import (
     active_registry,
     wall_clock,
 )
+from repro.telemetry.spans import SpanProfiler, active_profiler
 from repro.telemetry.tracer import Tracer, active_tracer
 
 
@@ -225,6 +226,7 @@ class Simulator:
         self._registry = (
             registry if registry is not None else active_registry()
         )
+        self._profiler: SpanProfiler = active_profiler()
         self._metrics = MetricsManager(tracer=self._tracer)
         # Pre-bound instruments so per-tick accounting is a dict bump.
         reg = self._registry
@@ -769,10 +771,17 @@ class Simulator:
         dt = self._config.tick
         timed = self._registry.enabled
         started = wall_clock() if timed else 0.0
-        if self.in_outage:
-            stats = self._outage_tick(dt)
-        else:
-            stats = self._active_tick(dt)
+        profiled = self._profiler.enabled
+        if profiled:
+            self._profiler.enter("engine.tick")
+        try:
+            if self.in_outage:
+                stats = self._outage_tick(dt)
+            else:
+                stats = self._active_tick(dt)
+        finally:
+            if profiled:
+                self._profiler.exit("engine.tick")
         self._last_stats = stats
         if timed:
             self._m_step_seconds.observe(wall_clock() - started)
@@ -841,14 +850,21 @@ class Simulator:
         order = self._graph.topological_order()
         self._refresh_jitter()
         vec = self._vec
-        if vec is None:
-            budgets = self._runtime.budgets(
-                self._plan, self._estimate_demands(dt), dt
-            )
-        else:
-            batch_budgets = self._runtime.budgets_batch(
-                self._plan, vec.estimate_demands(dt), dt
-            )
+        profiled = self._profiler.enabled
+        if profiled:
+            self._profiler.enter("engine.allocate")
+        try:
+            if vec is None:
+                budgets = self._runtime.budgets(
+                    self._plan, self._estimate_demands(dt), dt
+                )
+            else:
+                batch_budgets = self._runtime.budgets_batch(
+                    self._plan, vec.estimate_demands(dt), dt
+                )
+        finally:
+            if profiled:
+                self._profiler.exit("engine.allocate")
         source_emitted: Dict[str, float] = {}
         source_desired: Dict[str, float] = {}
         sink_consumed: Dict[str, float] = {
@@ -1061,81 +1077,88 @@ class Simulator:
             space = self._downstream_limit(name, weights_cache)
         consumed_total = 0.0
         if is_window:
-            assign_cost, fire_cost = self._window_costs(spec, parallelism)
-            fire_sel = spec.window.fire_selectivity
-            budgets_left = [budgets.get(i.iid, dt) for i in instances]
-            useful_acc = [0.0] * parallelism
-            pushed_acc = [0.0] * parallelism
-            pulled_acc = [0.0] * parallelism
-            # Fire work and assignment work share each instance's
-            # budget proportionally to their demands (the scheduler
-            # interleaves them); a fire-first priority would let a
-            # large fire backlog starve input reading entirely,
-            # collapsing throughput instead of degrading it.
-            fire_budget = [0.0] * parallelism
-            for index, inst in enumerate(instances):
-                fire_demand = inst.fire_backlog * fire_cost
-                assign_demand = inst.total_queue_length * assign_cost
-                total_demand = fire_demand + assign_demand
-                if total_demand <= 0:
-                    continue
-                share = min(1.0, fire_demand / total_demand)
-                fire_budget[index] = budgets_left[index] * share
-            # Stage 1: drain the fire backlogs (burst work), sharing the
-            # downstream space fairly.
-            fire_desires = []
-            for inst, budget in zip(instances, fire_budget):
-                by_budget = (
-                    math.inf if fire_cost <= 0 else budget / fire_cost
+            profiled = self._profiler.enabled
+            if profiled:
+                self._profiler.enter("engine.window_fire")
+            try:
+                assign_cost, fire_cost = self._window_costs(spec, parallelism)
+                fire_sel = spec.window.fire_selectivity
+                budgets_left = [budgets.get(i.iid, dt) for i in instances]
+                useful_acc = [0.0] * parallelism
+                pushed_acc = [0.0] * parallelism
+                pulled_acc = [0.0] * parallelism
+                # Fire work and assignment work share each instance's
+                # budget proportionally to their demands (the scheduler
+                # interleaves them); a fire-first priority would let a
+                # large fire backlog starve input reading entirely,
+                # collapsing throughput instead of degrading it.
+                fire_budget = [0.0] * parallelism
+                for index, inst in enumerate(instances):
+                    fire_demand = inst.fire_backlog * fire_cost
+                    assign_demand = inst.total_queue_length * assign_cost
+                    total_demand = fire_demand + assign_demand
+                    if total_demand <= 0:
+                        continue
+                    share = min(1.0, fire_demand / total_demand)
+                    fire_budget[index] = budgets_left[index] * share
+                # Stage 1: drain the fire backlogs (burst work), sharing the
+                # downstream space fairly.
+                fire_desires = []
+                for inst, budget in zip(instances, fire_budget):
+                    by_budget = (
+                        math.inf if fire_cost <= 0 else budget / fire_cost
+                    )
+                    fire_desires.append(min(inst.fire_backlog, by_budget))
+                fire_cap = (
+                    math.inf if fire_sel <= 0 else space / fire_sel
                 )
-                fire_desires.append(min(inst.fire_backlog, by_budget))
-            fire_cap = (
-                math.inf if fire_sel <= 0 else space / fire_sel
-            )
-            fired_alloc = fair_allocate(fire_cap, fire_desires)
-            for index, (inst, fired) in enumerate(
-                zip(instances, fired_alloc)
-            ):
-                if fired <= 0:
-                    continue
-                inst.fire_backlog -= fired
-                emit = fired * fire_sel
-                self._emit(name, emit, weights_cache)
-                useful_acc[index] += fired * fire_cost
-                pushed_acc[index] += emit
-                budgets_left[index] = max(
-                    0.0, budgets_left[index] - fired * fire_cost
-                )
-            # Stage 2: assign newly arrived records to windows (no
-            # emission, so no space constraint).
-            for index, inst in enumerate(instances):
-                by_budget = (
-                    math.inf
-                    if assign_cost <= 0
-                    else budgets_left[index] / assign_cost
-                )
-                assigned = inst.pop_records(
-                    min(inst.total_queue_length, by_budget)
-                )
-                assert inst.window is not None
-                inst.window.buffered += assigned * spec.window.replication
-                useful_acc[index] += assigned * assign_cost
-                pulled_acc[index] += assigned
-                # Stage 3: check window boundaries.
-                released, _fires = inst.window.maybe_fire(end_time)
-                inst.fire_backlog += released
-            for index, inst in enumerate(instances):
-                useful = min(useful_acc[index], dt)
-                self._metrics.record(
-                    inst.iid,
-                    pulled=pulled_acc[index],
-                    pushed=pushed_acc[index],
-                    useful=useful,
-                    waiting=max(0.0, dt - useful),
-                )
-                self._state.record_processed(name, pulled_acc[index])
-                consumed_total += pulled_acc[index]
-            return consumed_total
+                fired_alloc = fair_allocate(fire_cap, fire_desires)
+                for index, (inst, fired) in enumerate(
+                    zip(instances, fired_alloc)
+                ):
+                    if fired <= 0:
+                        continue
+                    inst.fire_backlog -= fired
+                    emit = fired * fire_sel
+                    self._emit(name, emit, weights_cache)
+                    useful_acc[index] += fired * fire_cost
+                    pushed_acc[index] += emit
+                    budgets_left[index] = max(
+                        0.0, budgets_left[index] - fired * fire_cost
+                    )
+                # Stage 2: assign newly arrived records to windows (no
+                # emission, so no space constraint).
+                for index, inst in enumerate(instances):
+                    by_budget = (
+                        math.inf
+                        if assign_cost <= 0
+                        else budgets_left[index] / assign_cost
+                    )
+                    assigned = inst.pop_records(
+                        min(inst.total_queue_length, by_budget)
+                    )
+                    assert inst.window is not None
+                    inst.window.buffered += assigned * spec.window.replication
+                    useful_acc[index] += assigned * assign_cost
+                    pulled_acc[index] += assigned
+                    # Stage 3: check window boundaries.
+                    released, _fires = inst.window.maybe_fire(end_time)
+                    inst.fire_backlog += released
+                for index, inst in enumerate(instances):
+                    useful = min(useful_acc[index], dt)
+                    self._metrics.record(
+                        inst.iid,
+                        pulled=pulled_acc[index],
+                        pushed=pushed_acc[index],
+                        useful=useful,
+                        waiting=max(0.0, dt - useful),
+                    )
+                    self._state.record_processed(name, pulled_acc[index])
+                    consumed_total += pulled_acc[index]
+                return consumed_total
+            finally:
+                if profiled:
+                    self._profiler.exit("engine.window_fire")
         # Regular (non-window) operator.
         unit_cost = self._unit_cost(spec, parallelism)
         selectivity = spec.selectivity.ratio

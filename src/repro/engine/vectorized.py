@@ -590,6 +590,12 @@ class VectorEngine:
         else:
             space = self._downstream_limit(name)
         if op.win_buffered is not None:
+            profiler = sim._profiler
+            if profiler.enabled:
+                with profiler.span("engine.window_fire"):
+                    return self._run_window(
+                        op, spec, budgets, dt, end_time, space
+                    )
             return self._run_window(
                 op, spec, budgets, dt, end_time, space
             )

@@ -71,6 +71,10 @@ from repro.faults.campaigns import (
     make_executor,
     resolve_jobs,
 )
+from repro.telemetry.progress import (
+    ProgressListener,
+    interrupted_cells,
+)
 from repro.faults.checkpoint import (
     CampaignCoverage,
     CellRetryPolicy,
@@ -398,6 +402,7 @@ def run_chaos(
     resume: bool = False,
     retry: Optional[CellRetryPolicy] = None,
     cell_timeout: Optional[float] = None,
+    progress: Optional[ProgressListener] = None,
 ) -> ChaosResult:
     """Run ``campaigns`` sampled campaigns × the workload's controllers.
 
@@ -427,6 +432,11 @@ def run_chaos(
         cell_timeout: Per-cell wall-clock budget (seconds) for the
             supervised path; a cell over budget counts as a failed
             attempt.
+        progress: Optional heartbeat sink (see
+            :mod:`repro.telemetry.progress`); renders live cell
+            progress and, on the supervised path, journals heartbeats
+            so a resumed run can report what the dead run was doing.
+            Never affects scorecards, traces, or stdout.
     """
     spec = resolve_profile(profile)
     load = resolve_workload(workload)
@@ -448,13 +458,14 @@ def run_chaos(
             resume=resume,
             retry=retry,
             cell_timeout=cell_timeout,
+            progress=progress,
         )
     if resume:
         raise FaultInjectionError(
             "resume requires a checkpoint path"
         )
     if executor is None:
-        executor = make_executor(jobs)
+        executor = make_executor(jobs, progress=progress)
     runner = load.runner(tick, executor=executor)
     generator = CampaignGenerator(
         spec,
@@ -489,6 +500,7 @@ def _run_chaos_supervised(
     resume: bool,
     retry: Optional[CellRetryPolicy],
     cell_timeout: Optional[float],
+    progress: Optional[ProgressListener] = None,
 ) -> ChaosResult:
     """The crash-safe chaos path: journal + supervising executor."""
     header = JournalHeader(
@@ -502,11 +514,20 @@ def _run_chaos_supervised(
     try:
         for note in journal.warnings:
             warnings.warn(note, RuntimeWarning, stacklevel=3)
+        if resume:
+            for note in interrupted_cells(journal.heartbeats):
+                warnings.warn(
+                    f"interrupted run was executing {note} when it "
+                    f"stopped",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
         supervisor = SupervisedExecutor(
             jobs=resolve_jobs(jobs),
             retry=retry,
             cell_timeout=cell_timeout,
             journal=journal,
+            progress=progress,
         )
         runner = load.runner(tick)
         generator = CampaignGenerator(

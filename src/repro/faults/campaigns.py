@@ -68,10 +68,21 @@ from repro.faults.events import (
 from repro.faults.schedule import FaultSchedule
 from repro.metrics import downtime_seconds
 from repro.telemetry.audit import AuditSummary, summarize_audits
+from repro.telemetry.progress import (
+    NULL_PROGRESS,
+    CellEvent,
+    ProgressListener,
+)
 from repro.telemetry.registry import (
     MetricsRegistry,
     active_registry,
     metering,
+    wall_clock,
+)
+from repro.telemetry.spans import (
+    SpanProfiler,
+    active_profiler,
+    profiling,
 )
 from repro.telemetry.tracer import NULL_TRACER, active_tracer, tracing
 
@@ -725,6 +736,13 @@ class _CellSuccess:
     index: int
     scorecard: SasoScorecard
     telemetry: Dict[str, object]
+    #: Wall-clock seconds the cell took in its worker (heartbeat data;
+    #: never folded into any golden artifact).
+    duration: float = 0.0
+    #: pid of the process that executed the cell.
+    worker: int = 0
+    #: Span-tree payload when the parent had profiling enabled.
+    spans: Optional[Dict[str, object]] = None
 
 
 @dataclass(frozen=True)
@@ -749,9 +767,21 @@ def _execute_cell_in_worker(
     count into it).
     """
     registry = MetricsRegistry()
+    # Workers inherit the parent's ambient profiler under fork; its
+    # ``enabled`` flag is the opt-in signal. Spans are recorded into a
+    # fresh local profiler and returned through the result channel so
+    # the parent can fold them in canonical cell order.
+    profiler: Optional[SpanProfiler] = None
+    if active_profiler().enabled:
+        profiler = SpanProfiler()
+    started = wall_clock()
     try:
         with metering(registry):
-            card = run_campaign_cell(spec)
+            if profiler is not None:
+                with profiling(profiler):
+                    card = run_campaign_cell(spec)
+            else:
+                card = run_campaign_cell(spec)
     except Exception as error:  # noqa: BLE001 — resurfaced by parent
         return _CellFailure(
             index=index,
@@ -760,8 +790,29 @@ def _execute_cell_in_worker(
             traceback=traceback.format_exc(),
         )
     return _CellSuccess(
-        index=index, scorecard=card, telemetry=registry.snapshot()
+        index=index,
+        scorecard=card,
+        telemetry=registry.snapshot(),
+        duration=wall_clock() - started,
+        worker=os.getpid(),
+        spans=None if profiler is None else profiler.to_dict(),
     )
+
+
+def _heartbeat(
+    journal: Optional["CheckpointJournal"],
+    progress: ProgressListener,
+    event: CellEvent,
+) -> None:
+    """Deliver one heartbeat: render it and, when the campaign is
+    journaled, durably append it so a resumed run can report what the
+    dead run was doing. Heartbeats are additive observability — they
+    are never read back into scorecards, traces, or telemetry."""
+    if not progress.enabled:
+        return
+    progress.on_event(event)
+    if journal is not None:
+        journal.record_heartbeat(event.to_payload())
 
 
 class CampaignExecutor:
@@ -792,40 +843,122 @@ class SerialExecutor(CampaignExecutor):
     """
 
     def __init__(
-        self, *, checkpoint: Optional["CheckpointJournal"] = None
+        self,
+        *,
+        checkpoint: Optional["CheckpointJournal"] = None,
+        progress: Optional[ProgressListener] = None,
     ) -> None:
         self._checkpoint = checkpoint
+        self._progress = (
+            progress if progress is not None else NULL_PROGRESS
+        )
 
     def run_cells(
         self, specs: Sequence[CampaignCellSpec]
     ) -> List[SasoScorecard]:
         journal = self._checkpoint
-        if journal is None:
+        progress = self._progress
+        if journal is None and not progress.enabled:
             return [run_campaign_cell(spec) for spec in specs]
         specs = list(specs)
+        total = len(specs)
         cards: Dict[int, SasoScorecard] = {}
         snapshots: Dict[int, Dict[str, object]] = {}
-        for index, cell in journal.match(specs).items():
-            cards[index] = cell.scorecard
-            snapshots[index] = cell.telemetry
+        cell_spans: Dict[int, Optional[Dict[str, object]]] = {}
+        if journal is not None:
+            for index, cell in journal.match(specs).items():
+                cards[index] = cell.scorecard
+                snapshots[index] = cell.telemetry
+                cell_spans[index] = cell.spans
+            for count, index in enumerate(sorted(cards), start=1):
+                _heartbeat(
+                    journal,
+                    progress,
+                    CellEvent(
+                        kind="resume",
+                        index=index,
+                        key=specs[index].key,
+                        completed=count,
+                        total=total,
+                    ),
+                )
+        profiler = active_profiler()
         for index, spec in enumerate(specs):
             if index in cards:
                 continue
-            # Meter into a private registry so the journal captures
-            # exactly this cell's telemetry; the ambient fold below
-            # reproduces direct metering (canonical order, counters
-            # and histograms accumulate, gauges last-write-wins).
-            registry = MetricsRegistry()
-            with metering(registry):
+            _heartbeat(
+                journal,
+                progress,
+                CellEvent(
+                    kind="start",
+                    index=index,
+                    key=spec.key,
+                    completed=len(cards),
+                    total=total,
+                    worker=os.getpid(),
+                ),
+            )
+            started = wall_clock()
+            if journal is None:
+                # Progress-only serial run: telemetry and spans flow
+                # directly into the ambient sinks, as without progress.
                 card = run_campaign_cell(spec)
-            snapshot = registry.snapshot()
-            journal.record_cell(spec, card, snapshot)
-            cards[index] = card
-            snapshots[index] = snapshot
-        ambient = active_registry()
-        if ambient.enabled:
-            for index in sorted(snapshots):
-                ambient.merge_snapshot(snapshots[index])
+                cards[index] = card
+            else:
+                # Meter into a private registry so the journal captures
+                # exactly this cell's telemetry; the ambient fold below
+                # reproduces direct metering (canonical order, counters
+                # and histograms accumulate, gauges last-write-wins).
+                # Spans get the same treatment: a private profiler per
+                # cell, folded back in canonical order (counts add, so
+                # the merged tree equals direct profiling).
+                registry = MetricsRegistry()
+                local: Optional[SpanProfiler] = (
+                    SpanProfiler() if profiler.enabled else None
+                )
+                with metering(registry):
+                    if local is not None:
+                        with profiling(local):
+                            card = run_campaign_cell(spec)
+                    else:
+                        card = run_campaign_cell(spec)
+                duration = wall_clock() - started
+                snapshot = registry.snapshot()
+                span_payload = (
+                    None if local is None else local.to_dict()
+                )
+                journal.record_cell(
+                    spec,
+                    card,
+                    snapshot,
+                    spans=span_payload,
+                    duration=duration,
+                    worker=os.getpid(),
+                )
+                cards[index] = card
+                snapshots[index] = snapshot
+                cell_spans[index] = span_payload
+            _heartbeat(
+                journal,
+                progress,
+                CellEvent(
+                    kind="done",
+                    index=index,
+                    key=spec.key,
+                    completed=len(cards),
+                    total=total,
+                    worker=os.getpid(),
+                    duration=wall_clock() - started,
+                ),
+            )
+        if journal is not None:
+            ambient = active_registry()
+            if ambient.enabled:
+                for index in sorted(snapshots):
+                    ambient.merge_snapshot(snapshots[index])
+            if profiler.enabled:
+                for index in sorted(cell_spans):
+                    profiler.merge(cell_spans[index])
         return [cards[index] for index in range(len(specs))]
 
 
@@ -855,6 +988,7 @@ class ParallelExecutor(CampaignExecutor):
         *,
         timeout: Optional[float] = None,
         checkpoint: Optional["CheckpointJournal"] = None,
+        progress: Optional[ProgressListener] = None,
     ) -> None:
         if int(jobs) < 1:
             raise FaultInjectionError(
@@ -863,6 +997,9 @@ class ParallelExecutor(CampaignExecutor):
         self._jobs = int(jobs)
         self._timeout = timeout
         self._checkpoint = checkpoint
+        self._progress = (
+            progress if progress is not None else NULL_PROGRESS
+        )
 
     @property
     def jobs(self) -> int:
@@ -876,16 +1013,33 @@ class ParallelExecutor(CampaignExecutor):
             return []
         cards: Dict[int, SasoScorecard] = {}
         snapshots: Dict[int, Dict[str, object]] = {}
+        cell_spans: Dict[int, Optional[Dict[str, object]]] = {}
         journal = self._checkpoint
+        progress = self._progress
         if journal is not None:
             for index, cell in journal.match(specs).items():
                 cards[index] = cell.scorecard
                 snapshots[index] = cell.telemetry
+                cell_spans[index] = cell.spans
+            for count, index in enumerate(sorted(cards), start=1):
+                _heartbeat(
+                    journal,
+                    progress,
+                    CellEvent(
+                        kind="resume",
+                        index=index,
+                        key=specs[index].key,
+                        completed=count,
+                        total=len(specs),
+                    ),
+                )
         missing = [
             index for index in range(len(specs)) if index not in cards
         ]
         if missing:
-            self._run_missing(specs, missing, cards, snapshots)
+            self._run_missing(
+                specs, missing, cards, snapshots, cell_spans
+            )
         registry = active_registry()
         if registry.enabled:
             # Canonical order: merging is commutative for counters and
@@ -893,6 +1047,12 @@ class ParallelExecutor(CampaignExecutor):
             # order must not depend on completion order.
             for index in sorted(snapshots):
                 registry.merge_snapshot(snapshots[index])
+        profiler = active_profiler()
+        if profiler.enabled:
+            # Same canonical fold for span trees (counts simply add,
+            # so the merged tree matches a serial run's).
+            for index in sorted(cell_spans):
+                profiler.merge(cell_spans[index])
         return [cards[index] for index in range(len(specs))]
 
     def _run_missing(
@@ -901,54 +1061,97 @@ class ParallelExecutor(CampaignExecutor):
         missing: Sequence[int],
         cards: Dict[int, SasoScorecard],
         snapshots: Dict[int, Dict[str, object]],
+        cell_spans: Dict[int, Optional[Dict[str, object]]],
     ) -> None:
         journal = self._checkpoint
+        progress = self._progress
+        total = len(specs)
         self._ensure_submittable(specs, missing)
         workers = min(self._jobs, len(missing))
         pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=workers
         )
+
+        def absorb(
+            future: "concurrent.futures.Future[object]",
+            spec: CampaignCellSpec,
+        ) -> None:
+            try:
+                outcome = future.result()
+            except Exception as error:
+                # Unpicklable specs and hard worker deaths
+                # (BrokenProcessPool) surface here.
+                raise FaultInjectionError(
+                    f"campaign cell {_cell_label(spec.key)} "
+                    f"died in a worker process: "
+                    f"{type(error).__name__}: {error}"
+                ) from error
+            if isinstance(outcome, _CellFailure):
+                raise FaultInjectionError(
+                    f"campaign cell {_cell_label(outcome.key)} "
+                    f"failed in a worker process: "
+                    f"{outcome.error}\n"
+                    f"--- worker traceback ---\n"
+                    f"{outcome.traceback.rstrip()}"
+                )
+            if journal is not None:
+                journal.record_cell(
+                    spec,
+                    outcome.scorecard,
+                    outcome.telemetry,
+                    spans=outcome.spans,
+                    duration=outcome.duration,
+                    worker=outcome.worker,
+                )
+            cards[outcome.index] = outcome.scorecard
+            snapshots[outcome.index] = outcome.telemetry
+            cell_spans[outcome.index] = outcome.spans
+            _heartbeat(
+                journal,
+                progress,
+                CellEvent(
+                    kind="done",
+                    index=outcome.index,
+                    key=spec.key,
+                    completed=len(cards),
+                    total=total,
+                    worker=outcome.worker,
+                    duration=outcome.duration,
+                ),
+            )
+
         # Only the success path may block in shutdown: on interrupt or
         # error, waiting for in-flight cells would hang the process and
         # cancelling only *queued* futures (the old behaviour) leaked
         # busy workers until they finished on their own.
         graceful = False
         try:
-            pending = {
-                pool.submit(
-                    _execute_cell_in_worker, index, specs[index]
-                ): specs[index]
-                for index in missing
-            }
+            pending = {}
+            for index in missing:
+                pending[
+                    pool.submit(
+                        _execute_cell_in_worker, index, specs[index]
+                    )
+                ] = specs[index]
+                _heartbeat(
+                    journal,
+                    progress,
+                    CellEvent(
+                        kind="start",
+                        index=index,
+                        key=specs[index].key,
+                        completed=len(cards),
+                        total=total,
+                    ),
+                )
             try:
-                for future in concurrent.futures.as_completed(
-                    pending, timeout=self._timeout
-                ):
-                    spec = pending.pop(future)
-                    try:
-                        outcome = future.result()
-                    except Exception as error:
-                        # Unpicklable specs and hard worker deaths
-                        # (BrokenProcessPool) surface here.
-                        raise FaultInjectionError(
-                            f"campaign cell {_cell_label(spec.key)} "
-                            f"died in a worker process: "
-                            f"{type(error).__name__}: {error}"
-                        ) from error
-                    if isinstance(outcome, _CellFailure):
-                        raise FaultInjectionError(
-                            f"campaign cell {_cell_label(outcome.key)} "
-                            f"failed in a worker process: "
-                            f"{outcome.error}\n"
-                            f"--- worker traceback ---\n"
-                            f"{outcome.traceback.rstrip()}"
-                        )
-                    if journal is not None:
-                        journal.record_cell(
-                            spec, outcome.scorecard, outcome.telemetry
-                        )
-                    cards[outcome.index] = outcome.scorecard
-                    snapshots[outcome.index] = outcome.telemetry
+                if progress.enabled:
+                    self._drain_with_progress(pending, absorb)
+                else:
+                    for future in concurrent.futures.as_completed(
+                        pending, timeout=self._timeout
+                    ):
+                        absorb(future, pending.pop(future))
             except concurrent.futures.TimeoutError:
                 waiting = ", ".join(
                     sorted(
@@ -963,6 +1166,38 @@ class ParallelExecutor(CampaignExecutor):
             graceful = True
         finally:
             pool.shutdown(wait=graceful, cancel_futures=True)
+
+    def _drain_with_progress(
+        self,
+        pending: Dict["concurrent.futures.Future[object]", CampaignCellSpec],
+        absorb: Callable[
+            ["concurrent.futures.Future[object]", CampaignCellSpec], None
+        ],
+    ) -> None:
+        """Completion loop that wakes up regularly so the progress
+        renderer can refresh ETAs and report stalls. Semantics match
+        the plain ``as_completed`` path: ``timeout`` still bounds the
+        total wait measured from drain start."""
+        deadline = (
+            None
+            if self._timeout is None
+            else wall_clock() + self._timeout
+        )
+        while pending:
+            done, _not_done = concurrent.futures.wait(
+                list(pending),
+                timeout=0.2,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            for future in done:
+                absorb(future, pending.pop(future))
+            self._progress.tick()
+            if (
+                not done
+                and deadline is not None
+                and wall_clock() > deadline
+            ):
+                raise concurrent.futures.TimeoutError()
 
     @staticmethod
     def _ensure_submittable(
@@ -1010,13 +1245,17 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return int(jobs)
 
 
-def make_executor(jobs: Optional[int] = None) -> CampaignExecutor:
+def make_executor(
+    jobs: Optional[int] = None,
+    *,
+    progress: Optional[ProgressListener] = None,
+) -> CampaignExecutor:
     """:class:`SerialExecutor` for one job (the default), else a
     :class:`ParallelExecutor` with ``jobs`` workers."""
     count = resolve_jobs(jobs)
     if count == 1:
-        return SerialExecutor()
-    return ParallelExecutor(count)
+        return SerialExecutor(progress=progress)
+    return ParallelExecutor(count, progress=progress)
 
 
 class CampaignRunner:

@@ -71,13 +71,25 @@ from repro.faults.campaigns import (
     CellKey,
     SasoScorecard,
     _cell_label,
+    _heartbeat,
     run_campaign_cell,
 )
 from repro.telemetry.audit import AuditSummary
+from repro.telemetry.progress import (
+    NULL_PROGRESS,
+    CellEvent,
+    ProgressListener,
+)
 from repro.telemetry.registry import (
     MetricsRegistry,
     active_registry,
     metering,
+    wall_clock,
+)
+from repro.telemetry.spans import (
+    SpanProfiler,
+    active_profiler,
+    profiling,
 )
 from repro.telemetry.tracer import active_tracer
 
@@ -284,6 +296,13 @@ class JournalCell:
     spec_hash: str
     scorecard: SasoScorecard
     telemetry: Dict[str, object]
+    #: Optional observability extras (absent in journals written by
+    #: older builds): the cell's span-tree payload, wall-clock
+    #: duration, and executing worker pid. None of them participate
+    #: in the fingerprint or in resume matching.
+    spans: Optional[Dict[str, object]] = None
+    duration: Optional[float] = None
+    worker: Optional[int] = None
 
 
 def _parse_cell_key(raw: object) -> CellKey:
@@ -314,12 +333,47 @@ def _parse_cell_record(payload: Mapping[str, object]) -> JournalCell:
     telemetry = payload.get("telemetry")
     if not isinstance(telemetry, dict):
         telemetry = {"metrics": []}
+    spans = payload.get("spans")
+    if not isinstance(spans, dict):
+        spans = None
+    duration = payload.get("duration")
+    if not isinstance(duration, (int, float)) or isinstance(
+        duration, bool
+    ):
+        duration = None
+    worker = payload.get("worker")
+    if not isinstance(worker, int) or isinstance(worker, bool):
+        worker = None
     return JournalCell(
         key=key,
         spec_hash=spec_hash,
         scorecard=scorecard_from_payload(scorecard),
         telemetry=telemetry,
+        spans=spans,
+        duration=None if duration is None else float(duration),
+        worker=worker,
     )
+
+
+@dataclass(frozen=True)
+class LoadedJournal:
+    """A parsed journal file: everything ``repro report`` and resume
+    need, read-only."""
+
+    header: JournalHeader
+    cells: Dict[CellKey, JournalCell]
+    heartbeats: List[Dict[str, object]]
+    quarantines: List[Dict[str, object]]
+    valid_lines: List[str]
+    warnings: List[str]
+
+
+def load_journal(path: str) -> LoadedJournal:
+    """Read a checkpoint journal without opening it for appends —
+    the read-only entry point the run-report builder uses. Applies
+    the same validation as resume (torn tails tolerated with a
+    warning, everything else rejected hard)."""
+    return CheckpointJournal._load(path)
 
 
 class CheckpointJournal:
@@ -341,15 +395,20 @@ class CheckpointJournal:
         header: JournalHeader,
         *,
         cells: Optional[Dict[CellKey, JournalCell]] = None,
+        heartbeats: Optional[List[Dict[str, object]]] = None,
         warnings: Optional[List[str]] = None,
         _header_on_disk: bool = False,
     ) -> None:
         self._path = path
         self._header = header
         self._cells: Dict[CellKey, JournalCell] = dict(cells or {})
+        self._heartbeats: List[Dict[str, object]] = list(
+            heartbeats or []
+        )
         self._warnings: List[str] = list(warnings or [])
         self._header_on_disk = _header_on_disk
         self._file: Optional[TextIO] = None
+        self._profiler = active_profiler()
 
     # -- construction ---------------------------------------------------
 
@@ -395,20 +454,25 @@ class CheckpointJournal:
                     f"checkpoint {path!r} is empty; starting fresh"
                 ],
             )
-        stored, cells, valid_lines, warnings = cls._load(path)
-        cls._check_header(stored, header, path)
-        if warnings:
+        loaded = cls._load(path)
+        cls._check_header(loaded.header, header, path)
+        if loaded.warnings:
             # The torn tail has no trailing newline; appending to it
             # would concatenate records. Rewrite the valid prefix.
             with open(path, "w", encoding="utf-8") as handle:
-                handle.write("".join(line + "\n" for line in valid_lines))
+                handle.write(
+                    "".join(
+                        line + "\n" for line in loaded.valid_lines
+                    )
+                )
                 handle.flush()
                 os.fsync(handle.fileno())
         return cls(
             path,
             header,
-            cells=cells,
-            warnings=warnings,
+            cells=loaded.cells,
+            heartbeats=loaded.heartbeats,
+            warnings=loaded.warnings,
             _header_on_disk=True,
         )
 
@@ -437,19 +501,13 @@ class CheckpointJournal:
     @staticmethod
     def _load(
         path: str,
-    ) -> Tuple[
-        JournalHeader,
-        Dict[CellKey, JournalCell],
-        List[str],
-        List[str],
-    ]:
-        """Parse a journal file.
+    ) -> "LoadedJournal":
+        """Parse a journal file into a :class:`LoadedJournal`.
 
-        Returns ``(header, cells, valid_lines, warnings)``. The final
-        non-empty line is allowed to be torn (unparseable JSON): it is
-        dropped with a warning. Any earlier unparseable line, and any
-        line that parses but violates the schema, is mid-file
-        corruption and raises :class:`CheckpointError`.
+        The final non-empty line is allowed to be torn (unparseable
+        JSON): it is dropped with a warning. Any earlier unparseable
+        line, and any line that parses but violates the schema, is
+        mid-file corruption and raises :class:`CheckpointError`.
         """
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -506,6 +564,8 @@ class CheckpointJournal:
             )
         header = JournalHeader.from_payload(first)
         cells: Dict[CellKey, JournalCell] = {}
+        heartbeats: List[Dict[str, object]] = []
+        quarantines: List[Dict[str, object]] = []
         valid_lines = [parsed[0][1]]
         for number, line, payload in parsed[1:]:
             kind = payload.get("record")
@@ -522,13 +582,26 @@ class CheckpointJournal:
                 # Informational: a quarantined cell gets a fresh
                 # retry budget on resume rather than being skipped.
                 _parse_cell_key(payload.get("key"))
+                quarantines.append(dict(payload))
+            elif kind == "heartbeat":
+                # Informational liveness records; kept so a resumed
+                # run (and ``repro report``) can say what the dead
+                # run was doing when it stopped.
+                heartbeats.append(dict(payload))
             else:
                 raise CheckpointError(
                     f"checkpoint {path!r} is corrupt at line "
                     f"{number}: unknown record kind {kind!r}"
                 )
             valid_lines.append(line)
-        return header, cells, valid_lines, warnings
+        return LoadedJournal(
+            header=header,
+            cells=cells,
+            heartbeats=heartbeats,
+            quarantines=quarantines,
+            valid_lines=valid_lines,
+            warnings=warnings,
+        )
 
     # -- properties -----------------------------------------------------
 
@@ -549,6 +622,12 @@ class CheckpointJournal:
     def warnings(self) -> List[str]:
         """Recovery notes (torn-tail drops) from loading this journal."""
         return list(self._warnings)
+
+    @property
+    def heartbeats(self) -> List[Dict[str, object]]:
+        """Heartbeat records recovered from disk plus those recorded
+        this run (liveness only; never merged into results)."""
+        return list(self._heartbeats)
 
     # -- appends --------------------------------------------------------
 
@@ -575,30 +654,67 @@ class CheckpointJournal:
         # their numeric bounds rendered as strings, and sorting those
         # lexicographically would scramble the bucket order the merge
         # validates. Payload dicts are built in deterministic order.
-        handle.write(json.dumps(payload) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
+        profiled = self._profiler.enabled
+        if profiled:
+            self._profiler.enter("checkpoint.append")
+        try:
+            handle.write(json.dumps(payload) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        finally:
+            if profiled:
+                self._profiler.exit("checkpoint.append")
 
     def record_cell(
         self,
         spec: CampaignCellSpec,
         scorecard: SasoScorecard,
         telemetry: Dict[str, object],
+        *,
+        spans: Optional[Dict[str, object]] = None,
+        duration: Optional[float] = None,
+        worker: Optional[int] = None,
     ) -> None:
-        """Durably append one completed cell (fsynced before return)."""
-        self._append({
+        """Durably append one completed cell (fsynced before return).
+
+        ``spans``, ``duration`` and ``worker`` are optional
+        observability extras; they are journaled next to the result
+        but take no part in fingerprinting or resume matching.
+        """
+        payload: Dict[str, object] = {
             "record": "cell",
             "key": list(spec.key),
             "spec_hash": cell_fingerprint(spec),
             "scorecard": scorecard_to_payload(scorecard),
             "telemetry": telemetry,
-        })
+        }
+        if duration is not None:
+            payload["duration"] = round(duration, 6)
+        if worker is not None:
+            payload["worker"] = worker
+        if spans is not None:
+            payload["spans"] = spans
+        self._append(payload)
         self._cells[spec.key] = JournalCell(
             key=spec.key,
             spec_hash=cell_fingerprint(spec),
             scorecard=scorecard,
             telemetry=telemetry,
+            spans=spans,
+            duration=duration,
+            worker=worker,
         )
+
+    def record_heartbeat(self, payload: Mapping[str, object]) -> None:
+        """Durably append one liveness heartbeat (see
+        :meth:`repro.telemetry.progress.CellEvent.to_payload`). Purely
+        informational: resume matching never reads heartbeats, but
+        ``--resume`` and ``repro report`` surface them to say what an
+        interrupted run was doing."""
+        record: Dict[str, object] = {"record": "heartbeat"}
+        record.update(payload)
+        self._append(record)
+        self._heartbeats.append(record)
 
     def record_quarantine(
         self, spec: CampaignCellSpec, attempts: int, error: str
@@ -828,6 +944,11 @@ class _AttemptSuccess:
     index: int
     scorecard: SasoScorecard
     telemetry: Dict[str, object]
+    #: Observability extras riding the result channel (see
+    #: campaigns._CellSuccess): wall seconds, executing pid, spans.
+    duration: float = 0.0
+    worker: int = 0
+    spans: Optional[Dict[str, object]] = None
 
 
 @dataclass(frozen=True)
@@ -859,9 +980,17 @@ def supervised_cell_attempt(
     the supervisor, not the retry loop.
     """
     registry = MetricsRegistry()
+    profiler: Optional[SpanProfiler] = None
+    if active_profiler().enabled:
+        profiler = SpanProfiler()
+    started = wall_clock()
     try:
         with _cell_alarm(timeout), metering(registry):
-            card = runner(spec)
+            if profiler is not None:
+                with profiling(profiler):
+                    card = runner(spec)
+            else:
+                card = runner(spec)
     except _CellTimeout:
         deadline = timeout if timeout is not None else 0.0
         return _AttemptFailure(
@@ -879,7 +1008,12 @@ def supervised_cell_attempt(
             traceback=traceback.format_exc(),
         )
     return _AttemptSuccess(
-        index=index, scorecard=card, telemetry=registry.snapshot()
+        index=index,
+        scorecard=card,
+        telemetry=registry.snapshot(),
+        duration=wall_clock() - started,
+        worker=os.getpid(),
+        spans=None if profiler is None else profiler.to_dict(),
     )
 
 
@@ -908,6 +1042,7 @@ class SupervisedExecutor(CampaignExecutor):
         runner: CellRunner = run_campaign_cell,
         sleep: Callable[[float], None] = time.sleep,
         pool_timeout: Optional[float] = None,
+        progress: Optional[ProgressListener] = None,
     ) -> None:
         if int(jobs) < 1:
             raise FaultInjectionError(
@@ -924,6 +1059,9 @@ class SupervisedExecutor(CampaignExecutor):
         self._runner = runner
         self._sleep = sleep
         self._pool_timeout = pool_timeout
+        self._progress = (
+            progress if progress is not None else NULL_PROGRESS
+        )
 
     @property
     def jobs(self) -> int:
@@ -966,14 +1104,30 @@ class SupervisedExecutor(CampaignExecutor):
     ) -> SupervisedOutcome:
         """Run the batch to completion, quarantining poison cells."""
         specs = list(specs)
+        total = len(specs)
+        progress = self._progress
         cards: Dict[int, SasoScorecard] = {}
         snapshots: Dict[int, Dict[str, object]] = {}
+        cell_spans: Dict[int, Optional[Dict[str, object]]] = {}
         resumed = 0
         if self._journal is not None:
             for index, cell in self._journal.match(specs).items():
                 cards[index] = cell.scorecard
                 snapshots[index] = cell.telemetry
+                cell_spans[index] = cell.spans
                 resumed += 1
+            for count, index in enumerate(sorted(cards), start=1):
+                _heartbeat(
+                    self._journal,
+                    progress,
+                    CellEvent(
+                        kind="resume",
+                        index=index,
+                        key=specs[index].key,
+                        completed=count,
+                        total=total,
+                    ),
+                )
         pending: List[int] = [
             index
             for index in range(len(specs))
@@ -986,13 +1140,43 @@ class SupervisedExecutor(CampaignExecutor):
                 spec = specs[outcome.index]
                 if self._journal is not None:
                     self._journal.record_cell(
-                        spec, outcome.scorecard, outcome.telemetry
+                        spec,
+                        outcome.scorecard,
+                        outcome.telemetry,
+                        spans=outcome.spans,
+                        duration=outcome.duration,
+                        worker=outcome.worker,
                     )
                 cards[outcome.index] = outcome.scorecard
                 snapshots[outcome.index] = outcome.telemetry
+                cell_spans[outcome.index] = outcome.spans
                 failures.pop(outcome.index, None)
+                _heartbeat(
+                    self._journal,
+                    progress,
+                    CellEvent(
+                        kind="done",
+                        index=outcome.index,
+                        key=spec.key,
+                        completed=len(cards),
+                        total=total,
+                        worker=outcome.worker,
+                        duration=outcome.duration,
+                    ),
+                )
             else:
                 failures[outcome.index] = outcome
+                _heartbeat(
+                    self._journal,
+                    progress,
+                    CellEvent(
+                        kind="retry",
+                        index=outcome.index,
+                        key=outcome.key,
+                        completed=len(cards),
+                        total=total,
+                    ),
+                )
 
         quarantined: List[QuarantinedCell] = []
         try:
@@ -1000,9 +1184,13 @@ class SupervisedExecutor(CampaignExecutor):
                 attempt = 1
                 while pending and attempt <= self._retry.max_attempts:
                     if self._jobs == 1 or len(pending) == 1:
-                        self._run_round_serial(specs, pending, absorb)
+                        self._run_round_serial(
+                            specs, pending, absorb, lambda: len(cards)
+                        )
                     else:
-                        self._run_round_pool(specs, pending, absorb)
+                        self._run_round_pool(
+                            specs, pending, absorb, lambda: len(cards)
+                        )
                     pending = sorted(failures)
                     if (
                         pending
@@ -1029,6 +1217,17 @@ class SupervisedExecutor(CampaignExecutor):
                         traceback=failure.traceback,
                     )
                 )
+                _heartbeat(
+                    self._journal,
+                    progress,
+                    CellEvent(
+                        kind="quarantine",
+                        index=index,
+                        key=spec.key,
+                        completed=len(cards),
+                        total=total,
+                    ),
+                )
         except KeyboardInterrupt:
             path = (
                 self._journal.path
@@ -1054,6 +1253,13 @@ class SupervisedExecutor(CampaignExecutor):
         if ambient.enabled:
             for index in sorted(snapshots):
                 ambient.merge_snapshot(snapshots[index])
+        profiler = active_profiler()
+        if profiler.enabled:
+            # Same canonical fold for span trees: resumed and live
+            # cells merge identically, so structure matches an
+            # uninterrupted (and a serial) run.
+            for index in sorted(cell_spans):
+                profiler.merge(cell_spans[index])
         coverage = CampaignCoverage(
             cells=len(specs),
             completed=len(cards),
@@ -1074,8 +1280,21 @@ class SupervisedExecutor(CampaignExecutor):
         specs: Sequence[CampaignCellSpec],
         pending: Sequence[int],
         absorb: Callable[[_AttemptOutcome], None],
+        completed: Callable[[], int],
     ) -> None:
         for index in pending:
+            _heartbeat(
+                self._journal,
+                self._progress,
+                CellEvent(
+                    kind="start",
+                    index=index,
+                    key=specs[index].key,
+                    completed=completed(),
+                    total=len(specs),
+                    worker=os.getpid(),
+                ),
+            )
             absorb(
                 supervised_cell_attempt(
                     index,
@@ -1090,6 +1309,7 @@ class SupervisedExecutor(CampaignExecutor):
         specs: Sequence[CampaignCellSpec],
         pending: Sequence[int],
         absorb: Callable[[_AttemptOutcome], None],
+        completed: Callable[[], int],
     ) -> None:
         # Construction-time pickle check, mirroring ParallelExecutor:
         # an unpicklable factory is a configuration error poisoning
@@ -1114,39 +1334,85 @@ class SupervisedExecutor(CampaignExecutor):
             max_workers=workers
         )
         interrupted = False
-        try:
-            futures = {
-                pool.submit(
-                    supervised_cell_attempt,
-                    index,
-                    specs[index],
-                    self._runner,
-                    self._cell_timeout,
-                ): index
-                for index in pending
-            }
+        def settle(
+            future: "concurrent.futures.Future[_AttemptOutcome]",
+            index: int,
+        ) -> None:
             try:
-                for future in concurrent.futures.as_completed(
-                    futures, timeout=self._pool_timeout
-                ):
-                    index = futures[future]
-                    try:
-                        absorb(future.result())
-                    except Exception as error:
-                        # Hard worker deaths (BrokenProcessPool) and
-                        # unpicklable runners: a failed attempt, not
-                        # an aborted batch.
-                        absorb(
-                            _AttemptFailure(
-                                index=index,
-                                key=specs[index].key,
-                                error=(
-                                    f"worker died: "
-                                    f"{type(error).__name__}: {error}"
-                                ),
-                                traceback="",
-                            )
+                absorb(future.result())
+            except Exception as error:
+                # Hard worker deaths (BrokenProcessPool) and
+                # unpicklable runners: a failed attempt, not
+                # an aborted batch.
+                absorb(
+                    _AttemptFailure(
+                        index=index,
+                        key=specs[index].key,
+                        error=(
+                            f"worker died: "
+                            f"{type(error).__name__}: {error}"
+                        ),
+                        traceback="",
+                    )
+                )
+
+        try:
+            futures = {}
+            for index in pending:
+                futures[
+                    pool.submit(
+                        supervised_cell_attempt,
+                        index,
+                        specs[index],
+                        self._runner,
+                        self._cell_timeout,
+                    )
+                ] = index
+                _heartbeat(
+                    self._journal,
+                    self._progress,
+                    CellEvent(
+                        kind="start",
+                        index=index,
+                        key=specs[index].key,
+                        completed=completed(),
+                        total=len(specs),
+                    ),
+                )
+            try:
+                if self._progress.enabled:
+                    # Polling drain so the renderer can refresh and
+                    # report stalls; the pool timeout keeps the same
+                    # total-deadline semantics as as_completed.
+                    deadline = (
+                        None
+                        if self._pool_timeout is None
+                        else wall_clock() + self._pool_timeout
+                    )
+                    remaining = set(futures)
+                    while remaining:
+                        done, _not_done = concurrent.futures.wait(
+                            list(remaining),
+                            timeout=0.2,
+                            return_when=(
+                                concurrent.futures.FIRST_COMPLETED
+                            ),
                         )
+                        for future in done:
+                            remaining.discard(future)
+                            settle(future, futures[future])
+                        self._progress.tick()
+                        if (
+                            not done
+                            and deadline is not None
+                            and wall_clock() > deadline
+                        ):
+                            raise concurrent.futures.TimeoutError()
+                else:
+                    for future in concurrent.futures.as_completed(
+                        futures, timeout=self._pool_timeout
+                    ):
+                        settle(future, futures[future])
             except concurrent.futures.TimeoutError:
                 waiting = ", ".join(
                     sorted(

@@ -53,6 +53,7 @@ from repro.faults.events import (
 )
 from repro.faults.schedule import FaultSchedule
 from repro.metrics import InstanceCounters, MetricsWindow, merge_windows
+from repro.telemetry.spans import SpanProfiler, active_profiler
 from repro.telemetry.tracer import Tracer, active_tracer
 
 
@@ -70,6 +71,7 @@ class FaultInjector:
         # Injections are emitted as trace events whose kinds reuse the
         # repro.faults.events vocabulary ("fault.<EventClassName>").
         self._tracer = tracer if tracer is not None else active_tracer()
+        self._profiler: SpanProfiler = active_profiler()
         self._fired: Set[int] = set()
         # Armed rescale failures: [event, remaining count].
         self._armed: List[List] = []
@@ -190,43 +192,57 @@ class FaultInjector:
             if index in self._fired or event.time > now:
                 continue
             if isinstance(event, InstanceCrash):
-                self._fired.add(index)
-                parallelism = self._sim.plan.parallelism.get(
-                    event.operator
-                )
-                if parallelism is None:
-                    self._note(
-                        f"crash of unknown operator "
-                        f"{event.operator!r} skipped"
+                profiled = self._profiler.enabled
+                if profiled:
+                    self._profiler.enter("fault.fire")
+                try:
+                    self._fired.add(index)
+                    parallelism = self._sim.plan.parallelism.get(
+                        event.operator
                     )
-                    continue
-                # Clamp: the schedule may predate a scale-down.
-                idx = min(event.index, parallelism - 1)
-                outage = self._sim.fail_instance(event.operator, idx)
-                self._crash_outages.append((now, outage))
-                self._note(
-                    f"crashed {event.operator}[{idx}]; recovery "
-                    f"outage {outage:.1f}s"
-                )
-                self._trace(
-                    event,
-                    operator=event.operator,
-                    index=idx,
-                    outage=outage,
-                )
+                    if parallelism is None:
+                        self._note(
+                            f"crash of unknown operator "
+                            f"{event.operator!r} skipped"
+                        )
+                        continue
+                    # Clamp: the schedule may predate a scale-down.
+                    idx = min(event.index, parallelism - 1)
+                    outage = self._sim.fail_instance(event.operator, idx)
+                    self._crash_outages.append((now, outage))
+                    self._note(
+                        f"crashed {event.operator}[{idx}]; recovery "
+                        f"outage {outage:.1f}s"
+                    )
+                    self._trace(
+                        event,
+                        operator=event.operator,
+                        index=idx,
+                        outage=outage,
+                    )
+                finally:
+                    if profiled:
+                        self._profiler.exit("fault.fire")
             elif isinstance(event, RescaleFailure):
-                self._fired.add(index)
-                self._armed.append([event, event.count])
-                self._note(
-                    f"armed {event.count} rescale failure(s) "
-                    f"(mode={event.mode})"
-                )
-                self._trace(
-                    event,
-                    action="armed",
-                    mode=event.mode,
-                    count=event.count,
-                )
+                profiled = self._profiler.enabled
+                if profiled:
+                    self._profiler.enter("fault.fire")
+                try:
+                    self._fired.add(index)
+                    self._armed.append([event, event.count])
+                    self._note(
+                        f"armed {event.count} rescale failure(s) "
+                        f"(mode={event.mode})"
+                    )
+                    self._trace(
+                        event,
+                        action="armed",
+                        mode=event.mode,
+                        count=event.count,
+                    )
+                finally:
+                    if profiled:
+                        self._profiler.exit("fault.fire")
 
     # ------------------------------------------------------------------
     # Metric dropout

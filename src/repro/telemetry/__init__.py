@@ -9,6 +9,13 @@ Three cooperating layers, all zero-cost no-ops unless activated:
 * :mod:`repro.telemetry.audit` — per-decision audit records capturing
   a controller invocation's inputs and the Eq. 7/8 traversal that
   produced its output ("why did it decide that").
+* :mod:`repro.telemetry.spans` — a hierarchical span profiler for the
+  hot phases of a run ("where did the time go").
+* :mod:`repro.telemetry.progress` — live campaign heartbeats and
+  progress renderers ("is it still making progress").
+* :mod:`repro.telemetry.reports` — aggregated run reports joining
+  scorecards, audits, durations, heartbeats, and span rollups from a
+  campaign's durable artifacts ("what did the whole run conclude").
 
 Activate ambiently around any experiment::
 
@@ -34,6 +41,16 @@ from repro.telemetry.audit import (
     render_decision_audit,
     summarize_audits,
 )
+from repro.telemetry.progress import (
+    NULL_PROGRESS,
+    CellEvent,
+    NullProgressListener,
+    PlainProgressRenderer,
+    ProgressListener,
+    TTYProgressRenderer,
+    interrupted_cells,
+    make_progress_renderer,
+)
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
     NULL_REGISTRY,
@@ -45,6 +62,23 @@ from repro.telemetry.registry import (
     active_registry,
     metering,
     wall_clock,
+)
+from repro.telemetry.reports import (
+    RunReport,
+    build_report,
+    render_report_json,
+    render_report_markdown,
+    render_report_text,
+    report_from_journal,
+)
+from repro.telemetry.spans import (
+    NULL_PROFILER,
+    NullSpanProfiler,
+    SPAN_SCHEMA_VERSION,
+    SpanNode,
+    SpanProfiler,
+    active_profiler,
+    profiling,
 )
 from repro.telemetry.trace_io import (
     EPOCH_KIND,
@@ -66,6 +100,7 @@ from repro.telemetry.tracer import (
 
 __all__ = [
     "AuditSummary",
+    "CellEvent",
     "Counter",
     "DEFAULT_BUCKETS",
     "DecisionAudit",
@@ -73,27 +108,47 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROFILER",
+    "NULL_PROGRESS",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "NullProgressListener",
     "NullRegistry",
+    "NullSpanProfiler",
     "NullTracer",
     "OperatorAudit",
+    "PlainProgressRenderer",
+    "ProgressListener",
+    "RunReport",
+    "SPAN_SCHEMA_VERSION",
+    "SpanNode",
+    "SpanProfiler",
     "TRACE_SCHEMA_VERSION",
+    "TTYProgressRenderer",
     "TraceEvent",
     "TraceSummary",
     "Tracer",
+    "active_profiler",
     "active_registry",
     "active_tracer",
     "audit_from_dict",
     "audit_to_dict",
     "build_decision_audit",
+    "build_report",
     "finalize_audit",
+    "interrupted_cells",
+    "make_progress_renderer",
     "metering",
     "operator_audits",
+    "profiling",
     "read_trace",
     "render_audit_summary",
     "render_decision_audit",
+    "render_report_json",
+    "render_report_markdown",
+    "render_report_text",
     "render_trace_summary",
+    "report_from_journal",
     "summarize_audits",
     "summarize_trace",
     "tracing",

@@ -28,6 +28,8 @@ from bisect import bisect_left
 from contextlib import contextmanager
 from typing import (
     Dict,
+    FrozenSet,
+    Iterable,
     Iterator,
     List,
     Mapping,
@@ -78,6 +80,18 @@ def _label_key(labels: Mapping[str, object]) -> LabelKey:
     return tuple(
         sorted((name, str(value)) for name, value in labels.items())
     )
+
+
+def _merge_value(
+    name: str, raw: object, field: str = "value"
+) -> float:
+    """A snapshot sample's numeric field, or a clear merge error."""
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise TelemetryError(
+            f"cannot merge metric {name!r}: sample {field} "
+            f"{raw!r} is not a number"
+        )
+    return float(raw)
 
 
 class _Metric:
@@ -393,6 +407,16 @@ class MetricsRegistry:
             # The null registry hands out *shared* no-op instruments;
             # merging into them would cross-contaminate callers.
             return
+        if not isinstance(snapshot, Mapping):
+            raise TelemetryError(
+                "malformed registry snapshot: expected a mapping, "
+                f"got {type(snapshot).__name__}"
+            )
+        if not snapshot:
+            raise TelemetryError(
+                "malformed registry snapshot: empty mapping (a "
+                "snapshot with no metrics is {'metrics': []})"
+            )
         families = snapshot.get("metrics")
         if not isinstance(families, list):
             raise TelemetryError(
@@ -419,6 +443,7 @@ class MetricsRegistry:
             raise TelemetryError(
                 f"malformed registry snapshot family {name!r}"
             )
+        label_names = self._registered_label_names(name)
         for raw in samples:
             if not isinstance(raw, dict) or not isinstance(
                 raw.get("labels"), dict
@@ -427,13 +452,22 @@ class MetricsRegistry:
                     f"malformed sample in snapshot family {name!r}"
                 )
             key = _label_key(raw["labels"])
+            incoming_names = frozenset(raw["labels"])
+            if label_names is None:
+                label_names = incoming_names
+            elif incoming_names != label_names:
+                raise TelemetryError(
+                    f"cannot merge metric {name!r}: sample labels "
+                    f"{sorted(incoming_names)} do not match the "
+                    f"family's label set {sorted(label_names)}"
+                )
             if kind == "counter":
                 self.counter(name, help_text)._inc(
-                    key, float(raw.get("value", 0.0))
+                    key, _merge_value(name, raw.get("value", 0.0))
                 )
             elif kind == "gauge":
                 self.gauge(name, help_text)._set(
-                    key, float(raw.get("value", 0.0))
+                    key, _merge_value(name, raw.get("value", 0.0))
                 )
             elif kind == "histogram":
                 self._merge_histogram_sample(name, help_text, key, raw)
@@ -442,6 +476,26 @@ class MetricsRegistry:
                     f"cannot merge metric {name!r} of unknown "
                     f"type {kind!r}"
                 )
+
+    def _registered_label_names(
+        self, name: str
+    ) -> Optional[FrozenSet[str]]:
+        """Label-name set of the already-registered family ``name``,
+        from any existing labeled series (None when the family is new
+        or has no series yet)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return None
+        keys: Iterable[LabelKey]
+        if isinstance(metric, Histogram):
+            keys = metric._counts.keys()
+        elif isinstance(metric, (Counter, Gauge)):
+            keys = metric._values.keys()
+        else:  # pragma: no cover - exhaustive today
+            return None
+        for key in keys:
+            return frozenset(label for label, _value in key)
+        return None
 
     def _merge_histogram_sample(
         self,
@@ -456,9 +510,17 @@ class MetricsRegistry:
                 f"histogram sample in snapshot family {name!r} "
                 "has no bucket dict"
             )
-        bounds = [
-            float(bound) for bound in cumulative if bound != "+Inf"
-        ]
+        try:
+            bounds = [
+                float(bound)
+                for bound in cumulative
+                if bound != "+Inf"
+            ]
+        except (TypeError, ValueError):
+            raise TelemetryError(
+                f"cannot merge histogram {name!r}: non-numeric "
+                f"bucket bound in {sorted(map(str, cumulative))}"
+            ) from None
         metric = self.histogram(
             name, help_text, buckets=bounds or DEFAULT_BUCKETS
         )
@@ -473,23 +535,52 @@ class MetricsRegistry:
                 f"cannot merge histogram {name!r}: bucket bounds "
                 f"{incoming} do not match registered {expected}"
             )
+        # Undo the cumulative encoding: successive finite diffs, then
+        # the +Inf overflow remainder. Validate before touching the
+        # metric so a rejected sample leaves this registry unchanged.
+        previous = 0
+        deltas = []
+        for bound in incoming:
+            running = cumulative[bound]
+            if not isinstance(running, int) or isinstance(
+                running, bool
+            ):
+                raise TelemetryError(
+                    f"cannot merge histogram {name!r}: bucket "
+                    f"le={bound} count {running!r} is not an integer"
+                )
+            if running < previous:
+                raise TelemetryError(
+                    f"cannot merge histogram {name!r}: cumulative "
+                    f"bucket counts decrease at le={bound} "
+                    f"({running} < {previous})"
+                )
+            deltas.append(running - previous)
+            previous = running
+        total = cumulative.get("+Inf", previous)
+        if not isinstance(total, int) or isinstance(total, bool):
+            raise TelemetryError(
+                f"cannot merge histogram {name!r}: +Inf count "
+                f"{total!r} is not an integer"
+            )
+        overflow = total - previous
+        if overflow < 0:
+            raise TelemetryError(
+                f"cannot merge histogram {name!r}: +Inf count "
+                f"{total} is below the last finite bucket "
+                f"({previous})"
+            )
         counts = metric._counts.get(key)
         if counts is None:
             counts = [0] * (len(metric.buckets) + 1)
             metric._counts[key] = counts
             metric._sums[key] = 0.0
-        # Undo the cumulative encoding: successive finite diffs, then
-        # the +Inf overflow remainder.
-        previous = 0
-        total = 0
-        for position, bound in enumerate(incoming):
-            running = int(cumulative[bound])
-            counts[position] += running - previous
-            previous = running
-            total = running
-        overflow = int(cumulative.get("+Inf", total)) - previous
+        for position, delta in enumerate(deltas):
+            counts[position] += delta
         counts[-1] += overflow
-        metric._sums[key] += float(raw.get("sum", 0.0))
+        metric._sums[key] += _merge_value(
+            name, raw.get("sum", 0.0), field="sum"
+        )
 
     def render_json(self) -> str:
         return json.dumps(self.snapshot(), sort_keys=True, indent=2)

@@ -134,6 +134,13 @@ class TraceSummary:
     def span(self) -> float:
         return self.end - self.start
 
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer before export. ``seq`` is
+        gap-free from 0, so a trace starting at seq N lost exactly the
+        N earlier events."""
+        return self.first_seq
+
 
 def summarize_trace(
     records: List[Mapping[str, object]],
@@ -188,10 +195,12 @@ def render_trace_summary(summary: TraceSummary) -> str:
         f"[{summary.start:.1f}, {summary.end:.1f}]s "
         f"({summary.span:.1f}s of virtual time)",
     ]
-    if summary.first_seq > 0:
+    if summary.dropped > 0:
         lines.append(
-            f"note: trace starts at seq {summary.first_seq} — the "
-            "ring buffer evicted earlier events"
+            f"warning: truncated trace — the ring buffer dropped the "
+            f"first {summary.dropped} event(s) (trace starts at seq "
+            f"{summary.first_seq}); re-run with a larger --trace "
+            "capacity for full coverage"
         )
     lines.append(
         f"decisions: {summary.decisions}  "

@@ -249,6 +249,98 @@ class TestMergeSnapshot:
                 "samples": [{"labels": {}, "value": 1.0}],
             }]})
 
+    def test_empty_metrics_list_is_a_no_op(self):
+        parent = MetricsRegistry()
+        parent.counter("kept_total").inc()
+        parent.merge_snapshot({"metrics": []})
+        assert parent.counter("kept_total").value() == 1.0
+
+    def test_non_mapping_snapshot_raises(self):
+        parent = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="expected a mapping"):
+            parent.merge_snapshot(None)
+        with pytest.raises(TelemetryError, match="expected a mapping"):
+            parent.merge_snapshot([("metrics", [])])
+
+    def test_mismatched_label_sets_within_family_raise(self):
+        parent = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="label set"):
+            parent.merge_snapshot({"metrics": [{
+                "name": "m_total", "type": "counter", "help": "",
+                "samples": [
+                    {"labels": {"op": "a"}, "value": 1.0},
+                    {"labels": {"runtime": "flink"}, "value": 1.0},
+                ],
+            }]})
+
+    def test_label_set_must_match_registered_series(self):
+        parent = MetricsRegistry()
+        parent.counter("m_total").inc(1, op="a")
+        with pytest.raises(TelemetryError, match="label set"):
+            parent.merge_snapshot({"metrics": [{
+                "name": "m_total", "type": "counter", "help": "",
+                "samples": [
+                    {"labels": {"runtime": "flink"}, "value": 2.0},
+                ],
+            }]})
+        # The rejected sample must not have been half-applied.
+        assert parent.counter("m_total").value(op="a") == 1.0
+
+    def test_non_numeric_value_raises(self):
+        parent = MetricsRegistry()
+        for bad in ("7", None, True):
+            with pytest.raises(TelemetryError, match="not a number"):
+                parent.merge_snapshot({"metrics": [{
+                    "name": "m_total", "type": "counter", "help": "",
+                    "samples": [{"labels": {}, "value": bad}],
+                }]})
+
+    def _histogram_sample(self, buckets):
+        return {"metrics": [{
+            "name": "h", "type": "histogram", "help": "",
+            "samples": [
+                {"labels": {}, "buckets": buckets, "sum": 1.0},
+            ],
+        }]}
+
+    def test_non_numeric_bucket_bound_raises(self):
+        parent = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="non-numeric"):
+            parent.merge_snapshot(
+                self._histogram_sample({"tiny": 1, "+Inf": 1})
+            )
+
+    def test_decreasing_cumulative_counts_raise(self):
+        parent = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="decrease"):
+            parent.merge_snapshot(
+                self._histogram_sample({"1": 5, "2": 3, "+Inf": 5})
+            )
+
+    def test_inf_below_last_finite_bucket_raises(self):
+        parent = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="below the last"):
+            parent.merge_snapshot(
+                self._histogram_sample({"1": 2, "2": 5, "+Inf": 4})
+            )
+
+    def test_non_integer_bucket_count_raises(self):
+        parent = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="not an integer"):
+            parent.merge_snapshot(
+                self._histogram_sample({"1": 1.5, "+Inf": 2})
+            )
+
+    def test_rejected_histogram_leaves_registry_unchanged(self):
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        before = parent.snapshot()
+        with pytest.raises(TelemetryError):
+            parent.merge_snapshot(
+                self._histogram_sample({"1": 5, "2": 3, "+Inf": 5})
+            )
+        assert parent.snapshot() == before
+
     def test_null_registry_merge_is_inert(self):
         worker = MetricsRegistry()
         worker.counter("a_total").inc(5)

@@ -139,9 +139,16 @@ class TestSummarize:
 
     def test_render_notes_ring_eviction(self):
         summary = summarize_trace([_record(seq=10, t=3.0)])
+        assert summary.dropped == 10
         text = render_trace_summary(summary)
         assert "seq 10" in text
-        assert "evicted" in text
+        assert "dropped the first 10 event(s)" in text
+        assert "truncated" in text
+
+    def test_complete_trace_reports_no_drops(self):
+        summary = summarize_trace([_record(seq=0, t=3.0)])
+        assert summary.dropped == 0
+        assert "truncated" not in render_trace_summary(summary)
 
 
 def _scripted_golden_run() -> Tracer:

@@ -496,3 +496,131 @@ class TestTelemetryCommands:
         missing = tmp_path / "nope.jsonl"
         assert main(["trace", "summarize", str(missing)]) == 2
         assert "invalid trace" in capsys.readouterr().err
+
+
+class TestProgressCli:
+    def test_progress_flags_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "chaos", "--progress"])
+        assert args.progress is True
+        args = parser.parse_args([
+            "run", "chaos", "--progress", "--no-progress",
+        ])
+        assert args.progress is False
+        args = parser.parse_args(["run", "chaos"])
+        assert args.progress is False
+
+    def test_progress_rejected_for_other_experiments(self, capsys):
+        assert main(["run", "fig6", "--progress"]) == 2
+        assert "--progress" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_progress_writes_stderr_only(self, capsys):
+        argv = [
+            "run", "chaos", "--profile", "smoke", "--seeds", "1",
+            "--scale", "0.5",
+        ]
+        assert main(argv) == 0
+        silent = capsys.readouterr()
+        assert main(argv + ["--progress"]) == 0
+        noisy = capsys.readouterr()
+        # stdout (the golden report) is byte-identical; the live
+        # progress stream rides on stderr.
+        assert noisy.out == silent.out
+        assert "done seed=1" in noisy.err
+
+
+class TestSpansCli:
+    def test_spans_argument_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "run", "chaos", "--spans", "spans.json",
+        ])
+        assert args.spans == "spans.json"
+
+    @pytest.mark.slow
+    def test_spans_file_written(self, capsys, tmp_path):
+        spans = tmp_path / "spans.json"
+        assert main([
+            "run", "chaos", "--profile", "smoke", "--seeds", "1",
+            "--scale", "0.5", "--spans", str(spans),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote span profile to {spans}" in out
+        payload = json.loads(spans.read_text())
+        names = {c["name"] for c in payload["children"]}
+        assert "engine.tick" in names
+        assert "controller.decide" in names
+
+    @pytest.mark.slow
+    def test_spans_do_not_change_report(self, capsys, tmp_path):
+        argv = [
+            "run", "chaos", "--profile", "smoke", "--seeds", "1",
+            "--scale", "0.5",
+        ]
+        assert main(argv) == 0
+        bare = capsys.readouterr().out
+        spans = tmp_path / "spans.json"
+        assert main(argv + ["--spans", str(spans)]) == 0
+        profiled = capsys.readouterr().out
+        assert profiled.replace(
+            f"wrote span profile to {spans}\n", ""
+        ) == bare
+
+
+class TestReportCommand:
+    GOLDEN_JOURNAL = str(
+        Path(__file__).parent / "reports" / "smoke_checkpoint.jsonl"
+    )
+
+    def test_report_text(self, capsys):
+        assert main([
+            "report", "--checkpoint", self.GOLDEN_JOURNAL,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chaos run report" in out
+        assert "cells: 6/6 completed" in out
+
+    def test_report_json_matches_golden(self, capsys):
+        assert main([
+            "report", "--checkpoint", self.GOLDEN_JOURNAL,
+            "--format", "json",
+        ]) == 0
+        out = capsys.readouterr().out
+        golden = (
+            Path(__file__).parent / "reports" / "golden_report.json"
+        ).read_text()
+        assert out == golden
+
+    def test_report_markdown(self, capsys):
+        assert main([
+            "report", "--checkpoint", self.GOLDEN_JOURNAL,
+            "--format", "markdown",
+        ]) == 0
+        assert "# Chaos run report" in capsys.readouterr().out
+
+    def test_report_with_trace(self, capsys):
+        trace = str(
+            Path(__file__).parent / "telemetry" / "golden_trace.jsonl"
+        )
+        assert main([
+            "report", "--checkpoint", self.GOLDEN_JOURNAL,
+            "--trace", trace,
+        ]) == 0
+        assert "trace:" in capsys.readouterr().out
+
+    def test_missing_journal_is_exit_2(self, capsys, tmp_path):
+        assert main([
+            "report", "--checkpoint", str(tmp_path / "nope.jsonl"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unusable checkpoint" in err or "cannot read" in err
+
+    def test_invalid_trace_is_exit_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main([
+            "report", "--checkpoint", self.GOLDEN_JOURNAL,
+            "--trace", str(bad),
+        ]) == 2
+        assert "invalid trace" in capsys.readouterr().err
