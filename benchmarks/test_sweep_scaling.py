@@ -1,0 +1,82 @@
+"""Sweep executor scaling: equivalence and wall-clock speedup.
+
+Runs the committed CI smoke grid — scaled to 16 campaigns per cell so
+a multi-core runner has enough work to amortize pool startup — twice:
+serially (``jobs=1``) and on a 4-worker process pool (``jobs=4``).
+Checks the sweep execution contract from both sides:
+
+* **equivalence**: scorecards and the rendered sensitivity report are
+  byte-identical between backends (``--jobs`` never changes a byte);
+* **speedup**: on a ≥ 4-core runner the pool finishes the grid at
+  least 2.5× faster than the serial baseline. On smaller runners the
+  wall-clock numbers are still measured and emitted, but the threshold
+  is not asserted — a 1-core box cannot demonstrate parallelism.
+"""
+
+import dataclasses
+import os
+import pathlib
+import time
+
+from benchmarks._util import emit, run_once
+from repro.sweeps import (
+    build_sweep_report,
+    load_spec,
+    render_sweep_json,
+    run_sweep,
+)
+
+SPEC_PATH = (
+    pathlib.Path(__file__).parent.parent
+    / "tests" / "sweeps" / "smoke_grid.toml"
+)
+CAMPAIGNS = 16
+SPEEDUP_FLOOR = 2.5
+SPEEDUP_CORES = 4
+
+
+def _spec():
+    return dataclasses.replace(
+        load_spec(str(SPEC_PATH)), campaigns=CAMPAIGNS
+    )
+
+
+def _timed(jobs):
+    spec = _spec()
+    start = time.perf_counter()  # repro: allow[REPRO101] — benchmark measures wall clock
+    result = run_sweep(spec, jobs=jobs)
+    return result, time.perf_counter() - start  # repro: allow[REPRO101]
+
+
+def test_sweep_parallel_speedup(benchmark):
+    serial, serial_seconds = run_once(benchmark, lambda: _timed(1))
+    parallel, parallel_seconds = _timed(SPEEDUP_CORES)
+
+    cores = os.cpu_count() or 1
+    cells = len(serial.grid.specs)
+    speedup = serial_seconds / parallel_seconds
+    emit(
+        "sweep_parallel_speedup",
+        "\n".join([
+            f"Sweep executor: smoke grid x {CAMPAIGNS} campaigns "
+            f"({cells} executor cells), Heron wordcount",
+            f"  cores available   {cores}",
+            f"  serial  (jobs=1)  {serial_seconds:8.2f} s",
+            f"  pooled  (jobs={SPEEDUP_CORES})  {parallel_seconds:8.2f} s",
+            f"  speedup           {speedup:8.2f}x"
+            + ("" if cores >= SPEEDUP_CORES else
+               f"  (not asserted: < {SPEEDUP_CORES} cores)"),
+        ]),
+    )
+
+    # The executor is an implementation detail: same cells, same bytes.
+    assert parallel.scorecards == serial.scorecards
+    assert render_sweep_json(
+        build_sweep_report(parallel)
+    ) == render_sweep_json(build_sweep_report(serial))
+
+    if cores >= SPEEDUP_CORES:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"jobs={SPEEDUP_CORES} on {cores} cores only reached "
+            f"{speedup:.2f}x over serial (< {SPEEDUP_FLOOR}x)"
+        )

@@ -26,8 +26,15 @@
 #                    - `repro report` over the committed smoke-campaign
 #                      journal must render byte-identical JSON to the
 #                      committed golden report
-#  10. pytest        - tier-1 test suite
-#  11. pytest (REPRO_ENGINE=vector)
+#  10. sweep (golden file + kill-and-resume)
+#                    - `repro sweep run` over the committed smoke grid
+#                      (two pool workers, checkpointed) and
+#                      `repro sweep report` from that journal must both
+#                      render byte-identical JSON to the committed
+#                      golden sensitivity artifact; plus the sweep
+#                      SIGKILL-and-resume equivalence tests
+#  11. pytest        - tier-1 test suite
+#  12. pytest (REPRO_ENGINE=vector)
 #                    - the same tier-1 suite on the struct-of-arrays
 #                      engine backend; passing both proves the golden
 #                      trace / scorecard byte-identity oracle holds for
@@ -36,7 +43,7 @@
 # ruff and mypy are optional dev dependencies (`pip install -e .[lint]`).
 # When they are missing the stage is skipped with a notice rather than
 # failing, so the gate is usable in minimal containers; the in-tree
-# stages (3-9) have no third-party dependencies and always run.
+# stages (3-10) have no third-party dependencies and always run.
 
 set -u
 
@@ -123,6 +130,37 @@ check_golden_report() {
         | diff -u tests/reports/golden_report.json -
 }
 run_stage "run report (golden file)" check_golden_report
+# Sweep gate: running the committed smoke grid (two pool workers, with
+# a checkpoint journal) and re-reporting from that journal must both
+# reproduce the committed golden sensitivity artifact byte-for-byte,
+# and a sweep hard-killed mid-grid must resume to the same bytes.
+check_golden_sweep() {
+    local journal status
+    journal="$(mktemp "${TMPDIR:-/tmp}/sweep_journal.XXXXXX")" \
+        || return 1
+    rm -f "$journal"
+    python -m repro sweep run \
+        --spec tests/sweeps/smoke_grid.toml \
+        --jobs 2 \
+        --checkpoint "$journal" \
+        --format json \
+        | diff -u tests/sweeps/golden_sweep.json -
+    status=$?
+    if [ "$status" -eq 0 ]; then
+        python -m repro sweep report \
+            --spec tests/sweeps/smoke_grid.toml \
+            --checkpoint "$journal" \
+            --format json \
+            | diff -u tests/sweeps/golden_sweep.json -
+        status=$?
+    fi
+    rm -f "$journal"
+    return "$status"
+}
+run_stage "sweep (golden file)" check_golden_sweep
+run_stage "sweep kill-and-resume equivalence (smoke)" \
+    python -m pytest -q tests/sweeps/test_sweep_equivalence.py \
+    -k "kill_and_resume or report_cli"
 
 if [ "$FAST" -eq 1 ]; then
     skip_stage "pytest" "--fast"

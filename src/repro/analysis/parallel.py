@@ -324,6 +324,10 @@ EQUIVALENCE_SENSITIVE_MODULES: Set[str] = {
     "repro.engine.vectorized",
     "repro.engine.allocation",
     "repro.engine.metrics_manager",
+    # The sweep sensitivity aggregator: marginals and margin tables are
+    # byte-gated against a committed golden artifact, so its float
+    # reductions must stay order-stable.
+    "repro.sweeps.report",
 }
 
 

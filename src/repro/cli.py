@@ -22,6 +22,14 @@ Commands:
 * ``report --checkpoint FILE`` — join a chaos run's durable artifacts
   (scorecards, decision audits, per-cell durations, heartbeats, span
   rollups) into one text/JSON/markdown summary.
+* ``sweep run --spec FILE`` — run a declarative parameter-sweep grid
+  (TOML spec: profile × rate × burstiness × controller × runtime ×
+  backend) on the campaign executor seam and print its sensitivity
+  report; ``--jobs``, ``--checkpoint``/``--resume``, and
+  ``--progress`` work exactly as for ``run chaos``.
+* ``sweep report --spec FILE --checkpoint FILE`` — rebuild the
+  sensitivity report from a sweep's checkpoint journal without
+  re-running any cell.
 * ``lint [paths]`` — the determinism linter over Python sources
   (defaults to the installed ``repro`` package); non-zero exit on
   violations, so CI can gate on it.
@@ -764,6 +772,126 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_resume_command(args: argparse.Namespace) -> str:
+    """The exact command that resumes an interrupted sweep."""
+    parts = [f"python -m repro sweep run --spec {args.spec}"]
+    if getattr(args, "jobs", None) is not None:
+        parts.append(f"--jobs {args.jobs}")
+    if getattr(args, "progress", False):
+        parts.append("--progress")
+    parts.append(f"--checkpoint {args.checkpoint}")
+    parts.append("--resume")
+    return " ".join(parts)
+
+
+def _write_sweep_report(report: object, fmt: str) -> None:
+    from repro.sweeps import SWEEP_RENDERERS
+
+    rendered = SWEEP_RENDERERS[fmt](report)  # type: ignore[arg-type]
+    if not rendered.endswith("\n"):
+        rendered += "\n"
+    sys.stdout.write(rendered)
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.errors import (
+        CheckpointError,
+        FaultInjectionError,
+        SweepError,
+    )
+    from repro.faults.checkpoint import CampaignInterrupted
+    from repro.sweeps import build_sweep_report, load_spec, run_sweep
+
+    if args.resume and args.checkpoint is None:
+        print(
+            "--resume requires --checkpoint FILE (the journal to "
+            "resume from)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        print(
+            f"--jobs must be a positive worker count, got "
+            f"{args.jobs}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = load_spec(args.spec)
+    except SweepError as error:
+        print(f"invalid sweep spec: {error}", file=sys.stderr)
+        return 2
+    progress = None
+    import contextlib
+
+    with contextlib.ExitStack() as stack:
+        if args.progress:
+            from repro.telemetry.progress import (
+                make_progress_renderer,
+            )
+
+            progress = make_progress_renderer(sys.stderr)
+            stack.callback(progress.close)
+        try:
+            result = run_sweep(
+                spec,
+                jobs=args.jobs,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                progress=progress,
+            )
+        except CheckpointError as error:
+            print(f"unusable checkpoint: {error}", file=sys.stderr)
+            return 2
+        except CampaignInterrupted as error:
+            print(str(error), file=sys.stderr)
+            if error.path is not None:
+                print(
+                    f"resume with: {_sweep_resume_command(args)}",
+                    file=sys.stderr,
+                )
+            return 130
+        except (FaultInjectionError, SweepError) as error:
+            print(f"invalid sweep: {error}", file=sys.stderr)
+            return 2
+    _write_sweep_report(build_sweep_report(result), args.format)
+    return 0
+
+
+def cmd_sweep_report(args: argparse.Namespace) -> int:
+    from repro.errors import CheckpointError, SweepError
+    from repro.sweeps import (
+        build_sweep_report,
+        load_spec,
+        sweep_result_from_journal,
+    )
+
+    try:
+        spec = load_spec(args.spec)
+        result = sweep_result_from_journal(spec, args.checkpoint)
+    except SweepError as error:
+        print(f"invalid sweep spec: {error}", file=sys.stderr)
+        return 2
+    except CheckpointError as error:
+        print(f"unusable checkpoint: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot read artifacts: {error}", file=sys.stderr)
+        return 2
+    _write_sweep_report(build_sweep_report(result), args.format)
+    return 0
+
+
+def _sweep_no_subcommand(_args: argparse.Namespace) -> int:
+    print(
+        "usage: repro sweep run --spec FILE [--jobs N] "
+        "[--checkpoint FILE [--resume]] | "
+        "repro sweep report --spec FILE --checkpoint FILE",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _trace_no_subcommand(_args: argparse.Namespace) -> int:
     print(
         "usage: repro trace summarize FILE [--format text|json]",
@@ -979,6 +1107,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     report.set_defaults(func=cmd_report)
+    sweep = sub.add_parser(
+        "sweep",
+        help=(
+            "declarative parameter sweeps on the campaign executor "
+            "seam (grid spec -> cells -> sensitivity report)"
+        ),
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command")
+    sweep.set_defaults(func=_sweep_no_subcommand)
+    sweep_run = sweep_sub.add_parser(
+        "run",
+        help="run every cell of a sweep grid and print its report",
+    )
+    sweep_run.add_argument(
+        "--spec",
+        required=True,
+        metavar="FILE",
+        help="TOML sweep spec (see docs/sweeps.md)",
+    )
+    sweep_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the sweep's cells (default: "
+            "$REPRO_JOBS, else 1 = serial; results are "
+            "byte-identical either way)"
+        ),
+    )
+    sweep_run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help=(
+            "durable cell journal: every completed cell is fsynced "
+            "to FILE, failing cells are retried then quarantined, "
+            "and a killed sweep resumes with --resume "
+            "(byte-identical output)"
+        ),
+    )
+    sweep_run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted sweep from its --checkpoint "
+            "journal instead of starting fresh"
+        ),
+    )
+    sweep_run.add_argument(
+        "--progress",
+        action="store_true",
+        default=False,
+        help=(
+            "live cell progress on stderr (stdout stays "
+            "byte-identical)"
+        ),
+    )
+    sweep_run.add_argument(
+        "--format",
+        choices=("text", "json", "markdown"),
+        default="text",
+        help="report format (default: text)",
+    )
+    sweep_run.set_defaults(func=cmd_sweep_run)
+    sweep_report = sweep_sub.add_parser(
+        "report",
+        help=(
+            "rebuild a sweep's sensitivity report from its "
+            "checkpoint journal (no cells are re-run)"
+        ),
+    )
+    sweep_report.add_argument(
+        "--spec",
+        required=True,
+        metavar="FILE",
+        help="the sweep's TOML spec (must match the journal)",
+    )
+    sweep_report.add_argument(
+        "--checkpoint",
+        required=True,
+        metavar="FILE",
+        help="the sweep's checkpoint journal",
+    )
+    sweep_report.add_argument(
+        "--format",
+        choices=("text", "json", "markdown"),
+        default="text",
+        help="report format (default: text)",
+    )
+    sweep_report.set_defaults(func=cmd_sweep_report)
     lint = sub.add_parser(
         "lint",
         help=(

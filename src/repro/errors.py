@@ -60,6 +60,12 @@ class CheckpointError(ReproError):
     different campaign configuration, unreadable journal files)."""
 
 
+class SweepError(ReproError):
+    """Raised for invalid parameter-sweep specifications (unknown axes,
+    axis values outside their domain, explicit cells naming unknown
+    controllers/runtimes/profiles, unreadable spec files)."""
+
+
 class TelemetryError(ReproError):
     """Raised for invalid telemetry requests (malformed metric names,
     duplicate registrations with conflicting types, negative counter

@@ -231,6 +231,13 @@ def cell_fingerprint(spec: CampaignCellSpec) -> str:
             else None
         ),
     }
+    if spec.engine_backend is not None:
+        # Only when pinned: an absent key keeps every fingerprint
+        # recorded before the backend axis existed byte-identical, so
+        # old journals still resume. (An env-selected backend changes
+        # no results — the backends are bit-identical by construction —
+        # so it rightly stays out of the hash.)
+        doc["engine_backend"] = spec.engine_backend
     blob = json.dumps(doc, sort_keys=True).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()[:16]
 
@@ -242,6 +249,14 @@ class JournalHeader:
     Resume requires an exact match on every field — a checkpoint from
     a different profile, workload, master seed, campaign count, or
     controller roster cannot complete this run.
+
+    ``sweep`` and ``cells`` are set for parameter-sweep runs (see
+    :mod:`repro.sweeps`): ``sweep`` names the grid spec
+    (``name@fingerprint``) and ``cells`` is the grid's total executor
+    cell count (a sweep's cells don't factor as ``campaigns ×
+    controllers``). Both are emitted only when set, so journals written
+    for plain chaos runs — including every pre-sweep journal — keep
+    their exact bytes, and old journals (without the keys) still parse.
     """
 
     profile: str
@@ -250,9 +265,11 @@ class JournalHeader:
     campaigns: int
     controllers: Tuple[str, ...]
     version: int = CHECKPOINT_VERSION
+    sweep: Optional[str] = None
+    cells: Optional[int] = None
 
     def to_payload(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "record": "header",
             "version": self.version,
             "profile": self.profile,
@@ -261,6 +278,11 @@ class JournalHeader:
             "campaigns": self.campaigns,
             "controllers": list(self.controllers),
         }
+        if self.sweep is not None:
+            payload["sweep"] = self.sweep
+        if self.cells is not None:
+            payload["cells"] = self.cells
+        return payload
 
     @classmethod
     def from_payload(
@@ -270,6 +292,14 @@ class JournalHeader:
             controllers = payload["controllers"]
             if not isinstance(controllers, list):
                 raise TypeError("controllers is not a list")
+            sweep = payload.get("sweep")
+            if sweep is not None and not isinstance(sweep, str):
+                raise TypeError("sweep is not a string")
+            cells = payload.get("cells")
+            if cells is not None and (
+                not isinstance(cells, int) or isinstance(cells, bool)
+            ):
+                raise TypeError("cells is not an integer")
             return cls(
                 profile=str(payload["profile"]),
                 workload=str(payload["workload"]),
@@ -277,6 +307,8 @@ class JournalHeader:
                 campaigns=int(payload["campaigns"]),  # type: ignore[call-overload]
                 controllers=tuple(str(c) for c in controllers),
                 version=int(payload["version"]),  # type: ignore[call-overload]
+                sweep=sweep,
+                cells=cells,
             )
         except (KeyError, TypeError, ValueError) as error:
             raise CheckpointError(
@@ -488,6 +520,7 @@ class CheckpointJournal:
             )
         for field_name in (
             "profile", "workload", "seed", "campaigns", "controllers",
+            "sweep", "cells",
         ):
             recorded = getattr(stored, field_name)
             wanted = getattr(expected, field_name)

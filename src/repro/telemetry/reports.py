@@ -105,6 +105,10 @@ class RunReport:
     audit_totals: Dict[str, int]
     trace: Optional[TraceSummary] = None
     journal_warnings: Tuple[str, ...] = ()
+    #: ``name@fingerprint`` of the sweep spec when the journal was
+    #: written by ``repro sweep run`` (None for plain chaos runs, and
+    #: for every journal written before sweeps existed).
+    sweep: Optional[str] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """JSON-safe dict (the ``--format json`` body)."""
@@ -180,6 +184,11 @@ class RunReport:
             "audits": dict(sorted(self.audit_totals.items())),
             "warnings": list(self.journal_warnings),
         }
+        if self.sweep is not None:
+            # Emitted only for sweep journals: the committed golden
+            # report of the plain chaos smoke journal must keep its
+            # exact bytes.
+            payload["header"]["sweep"] = self.sweep
         if self.trace is not None:
             payload["trace"] = {
                 "events": self.trace.events,
@@ -297,7 +306,13 @@ def report_from_journal(
             "max_seconds": max(durations),
         }
 
-    expected = header.campaigns * len(header.controllers)
+    # A sweep's grid does not factor as campaigns × controllers; its
+    # header records the exact cell count instead.
+    expected = (
+        header.cells
+        if header.cells is not None
+        else header.campaigns * len(header.controllers)
+    )
     return RunReport(
         profile=header.profile,
         workload=header.workload,
@@ -320,6 +335,7 @@ def report_from_journal(
         audit_totals=_audit_totals(cells),
         trace=trace,
         journal_warnings=tuple(loaded.warnings),
+        sweep=header.sweep,
     )
 
 
@@ -372,9 +388,18 @@ def _span_lines(
 
 def render_report_text(report: RunReport) -> str:
     """The deterministic terminal rendering of ``repro report``."""
+    if report.sweep is not None:
+        headline = (
+            f"sweep run report — spec={report.sweep} "
+            f"workload={report.workload} seed={report.seed}"
+        )
+    else:
+        headline = (
+            f"chaos run report — profile={report.profile} "
+            f"workload={report.workload} seed={report.seed}"
+        )
     lines = [
-        f"chaos run report — profile={report.profile} "
-        f"workload={report.workload} seed={report.seed}",
+        headline,
         f"cells: {report.cells_completed}/{report.cells_expected} "
         f"completed, {report.cells_quarantined} quarantined",
     ]
@@ -467,9 +492,18 @@ def render_report_text(report: RunReport) -> str:
 
 def render_report_markdown(report: RunReport) -> str:
     """GitHub-flavored markdown rendering of ``repro report``."""
+    title = (
+        "# Chaos run report"
+        if report.sweep is None
+        else "# Sweep run report"
+    )
     lines = [
-        "# Chaos run report",
+        title,
         "",
+    ]
+    if report.sweep is not None:
+        lines.append(f"- **sweep**: `{report.sweep}`")
+    lines += [
         f"- **profile**: `{report.profile}`",
         f"- **workload**: `{report.workload}`",
         f"- **seed**: {report.seed}",
